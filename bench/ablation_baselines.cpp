@@ -1,0 +1,126 @@
+// Ablation: revocation vs the classical protocols (§5) — priority
+// inheritance and priority ceiling — under a strict-priority scheduler,
+// where inherited priorities actually change dispatch.
+//
+// Scenario: the canonical inversion triangle.  A low-priority thread takes
+// the lock; medium-priority CPU hogs then starve it; a high-priority thread
+// blocks on the lock.  Reported: ticks until the high-priority thread gets
+// through the lock (its "inversion window"), per protocol.
+#include <cstdio>
+#include <memory>
+
+#include "core/engine.hpp"
+#include "monitor/priority_ceiling.hpp"
+#include "monitor/priority_inheritance.hpp"
+#include "rt/scheduler.hpp"
+
+namespace {
+
+using namespace rvk;
+
+struct Outcome {
+  std::uint64_t hi_latency;
+  std::uint64_t total;
+  std::uint64_t rollbacks;
+};
+
+constexpr int kSectionLen = 500;
+constexpr int kHogs = 3;
+constexpr int kHogWork = 4000;
+
+// protocol: 0=blocking, 1=inheritance, 2=ceiling, 3=revocation
+Outcome run(int protocol) {
+  rt::SchedulerConfig cfg;
+  cfg.quantum = 10;
+  cfg.strict_priority = true;
+  rt::Scheduler sched(cfg);
+
+  std::unique_ptr<core::Engine> engine;
+  monitor::InheritanceDomain inherit_dom;
+  monitor::CeilingDomain ceiling_dom;
+  std::unique_ptr<monitor::MonitorBase> mon;
+  core::RevocableMonitor* rmon = nullptr;
+  switch (protocol) {
+    case 0:
+      mon = std::make_unique<monitor::BlockingMonitor>("m");
+      break;
+    case 1:
+      mon = std::make_unique<monitor::PriorityInheritanceMonitor>(
+          "m", inherit_dom);
+      break;
+    case 2:
+      mon = std::make_unique<monitor::PriorityCeilingMonitor>("m", 9,
+                                                              ceiling_dom);
+      break;
+    case 3:
+      engine = std::make_unique<core::Engine>(sched);
+      rmon = engine->make_monitor("m");
+      break;
+  }
+
+  std::uint64_t hi_blocked_at = 0, hi_through_at = 0;
+
+  sched.spawn("lo", 2, [&] {
+    auto section = [&] {
+      for (int i = 0; i < kSectionLen; ++i) sched.yield_point();
+    };
+    if (rmon != nullptr) {
+      engine->synchronized(*rmon, section);
+    } else {
+      mon->acquire();
+      section();
+      mon->release();
+    }
+  });
+  for (int k = 0; k < kHogs; ++k) {
+    sched.spawn("mid" + std::to_string(k), 5, [&] {
+      sched.sleep_for(10);
+      for (int i = 0; i < kHogWork; ++i) sched.yield_point();
+    });
+  }
+  sched.spawn("hi", 9, [&] {
+    sched.sleep_for(30);
+    hi_blocked_at = sched.now();
+    if (rmon != nullptr) {
+      engine->synchronized(*rmon, [] {});
+    } else {
+      mon->acquire();
+      mon->release();
+    }
+    hi_through_at = sched.now();
+  });
+
+  sched.run();
+  Outcome o{};
+  o.hi_latency = hi_through_at - hi_blocked_at;
+  o.total = sched.now();
+  o.rollbacks = engine ? engine->stats().rollbacks_completed : 0;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  const char* names[] = {"blocking (no remedy)", "priority inheritance",
+                         "priority ceiling", "revocation (this paper)"};
+  std::printf(
+      "ablation_baselines: inversion triangle — lo holds lock (%d ticks of "
+      "work),\n%d mid hogs (%d ticks each), hi arrives at t=30; strict-"
+      "priority scheduler\n\n",
+      kSectionLen, kHogs, kHogWork);
+  std::printf("%-26s %16s %12s %10s\n", "protocol", "hi lock latency",
+              "total ticks", "rollbacks");
+  for (int p = 0; p < 4; ++p) {
+    const Outcome o = run(p);
+    std::printf("%-26s %16llu %12llu %10llu\n", names[p],
+                static_cast<unsigned long long>(o.hi_latency),
+                static_cast<unsigned long long>(o.total),
+                static_cast<unsigned long long>(o.rollbacks));
+  }
+  std::printf(
+      "\nExpected shape: blocking suffers the full hog window (unbounded\n"
+      "inversion); inheritance/ceiling bound it by the remaining section\n"
+      "length; revocation cuts even that to the next yield point, at the\n"
+      "cost of re-executing the victim's section.\n");
+  return 0;
+}

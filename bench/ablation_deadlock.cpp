@@ -1,0 +1,91 @@
+// Ablation: deadlock resolution machinery — eager (at-acquire) vs lazy
+// (stall-hook) detection, and the deadlock-victim backoff that prevents
+// the paper's noted livelock hazard.
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "rt/scheduler.hpp"
+
+namespace {
+
+using namespace rvk;
+
+struct Outcome {
+  std::uint64_t total_ticks;
+  std::uint64_t detected;
+  std::uint64_t broken;
+  std::uint64_t rollbacks;
+  bool completed;
+};
+
+// `rounds` deadlock-prone encounters: two threads repeatedly cross-acquire.
+Outcome run(bool eager, std::uint64_t backoff, int rounds) {
+  rt::SchedulerConfig scfg;
+  scfg.on_stall = rt::SchedulerConfig::OnStall::kReturn;
+  rt::Scheduler sched(scfg);
+  core::EngineConfig cfg;
+  cfg.deadlock_at_acquire = eager;
+  cfg.deadlock_backoff_ticks = backoff;
+  core::Engine engine(sched, cfg);
+  core::RevocableMonitor* l1 = engine.make_monitor("L1");
+  core::RevocableMonitor* l2 = engine.make_monitor("L2");
+
+  int done = 0;
+  auto worker = [&](core::RevocableMonitor* a, core::RevocableMonitor* b) {
+    for (int r = 0; r < rounds; ++r) {
+      engine.synchronized(*a, [&] {
+        for (int i = 0; i < 60; ++i) sched.yield_point();
+        engine.synchronized(*b, [&] {
+          for (int i = 0; i < 10; ++i) sched.yield_point();
+        });
+      });
+    }
+    ++done;
+  };
+  sched.spawn("T1", 5, [&] { worker(l1, l2); });
+  sched.spawn("T2", 5, [&] { worker(l2, l1); });
+  sched.run();
+
+  Outcome o{};
+  o.total_ticks = sched.now();
+  o.detected = engine.stats().deadlocks_detected;
+  o.broken = engine.stats().deadlocks_broken;
+  o.rollbacks = engine.stats().rollbacks_completed;
+  o.completed = (done == 2) && !sched.stalled();
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRounds = 20;
+  std::printf("ablation_deadlock: %d cross-acquire rounds per thread\n\n",
+              kRounds);
+  std::printf("%-34s %10s %9s %8s %10s %10s\n", "configuration", "ticks",
+              "detected", "broken", "rollbacks", "completed");
+  struct Cfg {
+    const char* name;
+    bool eager;
+    std::uint64_t backoff;
+  };
+  const Cfg cfgs[] = {
+      {"eager detection, backoff 64", true, 64},
+      {"eager detection, backoff 8", true, 8},
+      {"eager detection, backoff 512", true, 512},
+      {"lazy (stall hook), backoff 64", false, 64},
+  };
+  for (const Cfg& c : cfgs) {
+    const Outcome o = run(c.eager, c.backoff, kRounds);
+    std::printf("%-34s %10llu %9llu %8llu %10llu %10s\n", c.name,
+                static_cast<unsigned long long>(o.total_ticks),
+                static_cast<unsigned long long>(o.detected),
+                static_cast<unsigned long long>(o.broken),
+                static_cast<unsigned long long>(o.rollbacks),
+                o.completed ? "yes" : "NO");
+  }
+  std::printf(
+      "\nExpected shape: all configurations complete (no livelock); eager\n"
+      "detection resolves cycles without waiting for a full stall; larger\n"
+      "backoffs waste idle ticks, tiny ones risk repeated re-collisions.\n");
+  return 0;
+}

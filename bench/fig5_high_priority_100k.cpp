@@ -1,0 +1,13 @@
+// Figure 5: "Total time for high-priority threads, 100K iterations".
+// Three panels (2hi+8lo, 5hi+5lo, 8hi+2lo), write ratio 0–100%, MODIFIED vs
+// UNMODIFIED, normalized to unmodified @ 100% reads.
+#include "fig_common.hpp"
+
+int main() {
+  rvk::harness::FigureSpec spec;
+  spec.id = "fig5";
+  spec.title = "Total time for high-priority threads, 100K iterations";
+  spec.overall = false;
+  spec.high_iters = 4'000;  // paper 100'000, scaled 1/25 (see env.hpp)
+  return rvk::bench::run_figure_main(spec, /*paper_high_iters=*/100'000);
+}

@@ -1,0 +1,11 @@
+// Figure 6: "Total time for high-priority threads, 500K iterations".
+#include "fig_common.hpp"
+
+int main() {
+  rvk::harness::FigureSpec spec;
+  spec.id = "fig6";
+  spec.title = "Total time for high-priority threads, 500K iterations";
+  spec.overall = false;
+  spec.high_iters = 20'000;  // paper 500'000, scaled 1/25
+  return rvk::bench::run_figure_main(spec, /*paper_high_iters=*/500'000);
+}

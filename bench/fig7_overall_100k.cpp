@@ -1,0 +1,12 @@
+// Figure 7: "Overall time, 100K iterations" — all-threads elapsed time for
+// the Figure 5 runs; the modified VM's ~30% average overhead shows here.
+#include "fig_common.hpp"
+
+int main() {
+  rvk::harness::FigureSpec spec;
+  spec.id = "fig7";
+  spec.title = "Overall time, 100K iterations";
+  spec.overall = true;
+  spec.high_iters = 4'000;
+  return rvk::bench::run_figure_main(spec, /*paper_high_iters=*/100'000);
+}

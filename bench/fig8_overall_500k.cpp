@@ -1,0 +1,11 @@
+// Figure 8: "Overall time, 500K iterations".
+#include "fig_common.hpp"
+
+int main() {
+  rvk::harness::FigureSpec spec;
+  spec.id = "fig8";
+  spec.title = "Overall time, 500K iterations";
+  spec.overall = true;
+  spec.high_iters = 20'000;
+  return rvk::bench::run_figure_main(spec, /*paper_high_iters=*/500'000);
+}

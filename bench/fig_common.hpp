@@ -1,0 +1,43 @@
+// Shared driver for the figure-reproduction binaries (Figures 5–8).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+
+#include "harness/ascii_plot.hpp"
+#include "harness/env.hpp"
+#include "harness/figures.hpp"
+
+namespace rvk::bench {
+
+// Runs one figure end to end: applies environment overrides, sweeps every
+// panel/write-ratio/VM combination, prints the paper-style table, and
+// writes a CSV when RVK_CSV is set.
+inline int run_figure_main(harness::FigureSpec spec,
+                           std::uint64_t paper_high_iters) {
+  harness::apply_env(spec, paper_high_iters);
+  std::printf("%s — %s\n", spec.id.c_str(), spec.title.c_str());
+  std::printf(
+      "parameters: %d sections/thread, low iters %llu, high iters %llu, "
+      "%d reps (+1 warm-up)\n\n",
+      spec.base.sections_per_thread,
+      static_cast<unsigned long long>(spec.base.low_iters),
+      static_cast<unsigned long long>(spec.high_iters), spec.reps);
+  harness::FigureResult fig = harness::run_figure(spec, &std::cerr);
+  harness::print_figure(fig, std::cout);
+  std::printf("\n");
+  harness::plot_figure(fig, harness::PlotOptions{}, std::cout);
+  const std::string dir = harness::csv_dir();
+  if (!dir.empty()) {
+    const std::string path = dir + "/" + spec.id + ".csv";
+    if (harness::write_csv(fig, path)) {
+      std::printf("CSV written to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write CSV to %s\n",
+                   path.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace rvk::bench

@@ -1,0 +1,172 @@
+// Macro benchmark: a bank-service workload (the paper's future work asks to
+// "evaluate the performance of our technique for real-world applications").
+//
+// Mixed thread population over a shared ledger object graph:
+//   * low-priority batch workers applying long transfer batches,
+//   * medium-priority tellers doing short balance updates,
+//   * high-priority auditors needing consistent whole-ledger snapshots.
+// All synchronization is per-object (`engine.synchronized(obj, …)`-style on
+// one ledger root), so this exercises the per-object monitor nursery too.
+//
+// Reported per protocol: auditor latency percentiles (the real-time story),
+// teller latency percentiles, and total throughput — for the unmodified
+// blocking VM vs the revocation engine, on virtual ticks (deterministic).
+#include <cstdio>
+#include <memory>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "heap/heap.hpp"
+#include "monitor/monitor.hpp"
+#include "rt/scheduler.hpp"
+
+namespace {
+
+using namespace rvk;
+
+constexpr int kAccounts = 128;
+constexpr int kBatchWorkers = 4;
+constexpr int kTellers = 3;
+constexpr int kAuditors = 1;
+constexpr int kBatchOps = 2000;
+constexpr int kTellerOps = 40;
+constexpr int kRounds = 40;  // operations per thread
+
+struct Result {
+  Histogram auditor, teller;
+  std::uint64_t total_ticks = 0;
+  std::uint64_t rollbacks = 0;
+};
+
+Result run(bool revocable) {
+  rt::SchedulerConfig scfg;
+  scfg.quantum = 500;  // several switches per batch: contention is observable
+  rt::Scheduler sched(scfg);
+  std::unique_ptr<core::Engine> engine;
+  std::unique_ptr<monitor::BlockingMonitor> bmon;
+  core::RevocableMonitor* rmon = nullptr;
+  heap::Heap heap;
+  heap::HeapArray<std::uint64_t>* accounts =
+      heap.alloc_array<std::uint64_t>(kAccounts);
+  heap::HeapObject* ledger = heap.alloc("ledger", 1);
+  for (int i = 0; i < kAccounts; ++i) accounts->set_unlogged(i, 1000);
+
+  if (revocable) {
+    engine = std::make_unique<core::Engine>(sched);
+    rmon = engine->monitor_of(ledger);
+  } else {
+    bmon = std::make_unique<monitor::BlockingMonitor>("ledger");
+  }
+
+  auto locked = [&](auto&& body) {
+    if (revocable) {
+      engine->synchronized(*rmon, body);
+    } else {
+      bmon->acquire();
+      body();
+      bmon->release();
+    }
+  };
+
+  Result result;
+
+  for (int w = 0; w < kBatchWorkers; ++w) {
+    sched.spawn("batch-" + std::to_string(w), 2, [&, w] {
+      SplitMix64 rng(0xB000 + w);
+      for (int r = 0; r < kRounds; ++r) {
+        sched.sleep_for(rng.next_below(4000));
+        const std::uint64_t seed = rng.next();
+        locked([&] {
+          SplitMix64 brng(seed);
+          for (int i = 0; i < kBatchOps; ++i) {
+            const auto from = static_cast<std::size_t>(brng.next_below(kAccounts));
+            const auto to = static_cast<std::size_t>(brng.next_below(kAccounts));
+            const std::uint64_t amount = brng.next_below(5);
+            const std::uint64_t have = accounts->get(from);
+            if (have >= amount) {
+              accounts->set(from, have - amount);
+              accounts->set(to, accounts->get(to) + amount);
+            }
+            sched.yield_point();
+          }
+        });
+      }
+    });
+  }
+
+  for (int t = 0; t < kTellers; ++t) {
+    sched.spawn("teller-" + std::to_string(t), 5, [&, t] {
+      SplitMix64 rng(0x7E11E4 + t);
+      for (int r = 0; r < kRounds * 4; ++r) {
+        sched.sleep_for(rng.next_below(3000));
+        const std::uint64_t seed = rng.next();
+        const std::uint64_t t0 = sched.now();
+        locked([&] {
+          SplitMix64 trng(seed);
+          for (int i = 0; i < kTellerOps; ++i) {
+            const auto acct = static_cast<std::size_t>(trng.next_below(kAccounts));
+            accounts->set(acct, accounts->get(acct) + 1);
+            sched.yield_point();
+          }
+        });
+        result.teller.record(sched.now() - t0);
+      }
+    });
+  }
+
+  for (int a = 0; a < kAuditors; ++a) {
+    sched.spawn("auditor-" + std::to_string(a), 9, [&] {
+      SplitMix64 rng(0xA0D17);
+      for (int r = 0; r < kRounds * 2; ++r) {
+        sched.sleep_for(2000 + rng.next_below(2000));
+        const std::uint64_t t0 = sched.now();
+        std::uint64_t total = 0;
+        locked([&] {
+          total = 0;
+          for (int i = 0; i < kAccounts; ++i) {
+            total += accounts->get(i);
+            sched.yield_point();
+          }
+        });
+        result.auditor.record(sched.now() - t0);
+        RVK_CHECK_MSG(total >= kAccounts * 1000,
+                      "ledger lost money: inconsistent snapshot");
+      }
+    });
+  }
+
+  sched.run();
+  result.total_ticks = sched.now();
+  if (engine) result.rollbacks = engine->stats().rollbacks_completed;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "macro_bank: %d accounts; %d batch workers (prio 2, %d-op batches), "
+      "%d tellers (prio 5), %d auditor (prio 9)\n\n",
+      kAccounts, kBatchWorkers, kBatchOps, kTellers, kAuditors);
+  const Result blocking = run(false);
+  const Result revoking = run(true);
+  std::printf("blocking VM:\n  auditor latency (ticks): %s\n"
+              "  teller  latency (ticks): %s\n  total %llu ticks\n\n",
+              blocking.auditor.summary().c_str(),
+              blocking.teller.summary().c_str(),
+              static_cast<unsigned long long>(blocking.total_ticks));
+  std::printf("revocable VM (%llu rollbacks):\n"
+              "  auditor latency (ticks): %s\n"
+              "  teller  latency (ticks): %s\n  total %llu ticks\n\n",
+              static_cast<unsigned long long>(revoking.rollbacks),
+              revoking.auditor.summary().c_str(),
+              revoking.teller.summary().c_str(),
+              static_cast<unsigned long long>(revoking.total_ticks));
+  std::printf(
+      "Expected shape: auditor p95/p99 collapse from ~batch length to ~its\n"
+      "own snapshot cost under revocation; tellers (medium priority) gain\n"
+      "against batches but can still be preempted by the auditor; total\n"
+      "ticks grow by the re-executed batch work.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Barrier micro-costs (§1.1's "fast-path test on every non-local update"):
+//  * write fast path  — store outside any synchronized section
+//  * write slow path  — store inside a section (fast-path test + log append)
+//  * unlogged store   — the barrier the compiler would have elided
+//  * read fast path   — clean object, one mark test
+// These are the per-operation overheads the paper's modified VM charges on
+// all threads; Figures 5–8's "influence of different read-write ratios … is
+// small" claim rests on them being a few nanoseconds.
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hpp"
+#include "heap/heap.hpp"
+#include "rt/scheduler.hpp"
+
+namespace {
+
+using namespace rvk;
+
+// Runs `body` on a green thread inside a fresh scheduler (barriers consult
+// the current VThread).
+template <typename F>
+void on_green_thread(F&& body) {
+  rt::Scheduler sched;
+  sched.spawn("bench", rt::kNormPriority, [&] { body(sched); });
+  sched.run();
+}
+
+void BM_WriteOutsideSection(benchmark::State& state) {
+  on_green_thread([&](rt::Scheduler&) {
+    heap::Heap h;
+    heap::HeapObject* o = h.alloc("o", 1);
+    std::uint64_t v = 0;
+    for (auto _ : state) {
+      o->set_word(0, ++v);
+      benchmark::ClobberMemory();
+    }
+  });
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WriteOutsideSection);
+
+void BM_WriteInsideSection(benchmark::State& state) {
+  rt::Scheduler sched;
+  core::Engine eng(sched);
+  heap::Heap h;
+  heap::HeapObject* o = h.alloc("o", 1);
+  core::RevocableMonitor* m = eng.make_monitor("m");
+  sched.spawn("bench", rt::kNormPriority, [&] {
+    eng.synchronized(*m, [&] {
+      rt::VThread* t = sched.current_thread();
+      std::uint64_t v = 0;
+      for (auto _ : state) {
+        o->set_word(0, ++v);
+        if (t->undo_log.size() >= (1u << 18)) {
+          // keep the log bounded; truncation cost is amortized away
+          t->undo_log.rollback_to(0);
+        }
+        benchmark::ClobberMemory();
+      }
+      t->undo_log.rollback_to(0);
+    });
+  });
+  sched.run();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WriteInsideSection);
+
+void BM_WriteUnlogged(benchmark::State& state) {
+  heap::Heap h;
+  heap::HeapObject* o = h.alloc("o", 1);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    o->set_word_unlogged(0, ++v);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WriteUnlogged);
+
+void BM_ReadCleanObject(benchmark::State& state) {
+  heap::Heap h;
+  heap::HeapObject* o = h.alloc("o", 1);
+  o->set_word_unlogged(0, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(o->get_word(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReadCleanObject);
+
+void BM_ReadOwnSpeculation(benchmark::State& state) {
+  // Reader == writer: the tracked-read hook runs but pins nothing.
+  rt::Scheduler sched;
+  core::Engine eng(sched);
+  heap::Heap h;
+  heap::HeapObject* o = h.alloc("o", 1);
+  core::RevocableMonitor* m = eng.make_monitor("m");
+  sched.spawn("bench", rt::kNormPriority, [&] {
+    eng.synchronized(*m, [&] {
+      o->set_word(0, 7);  // marks the object
+      for (auto _ : state) {
+        benchmark::DoNotOptimize(o->get_word(0));
+      }
+      sched.current_thread()->undo_log.rollback_to(0);
+    });
+  });
+  sched.run();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReadOwnSpeculation);
+
+void BM_YieldPointNoSwitch(benchmark::State& state) {
+  rt::SchedulerConfig cfg;
+  cfg.quantum = 1 << 30;  // never expires: pure yield-point cost
+  rt::Scheduler sched(cfg);
+  sched.spawn("bench", rt::kNormPriority, [&] {
+    for (auto _ : state) {
+      sched.yield_point();
+    }
+  });
+  sched.run();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_YieldPointNoSwitch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Micro-costs of the undo log: append (the write-barrier slow path's core)
+// and reverse replay (the rollback cost charged to revoked threads).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "log/undo_log.hpp"
+
+namespace {
+
+using rvk::log::EntryKind;
+using rvk::log::UndoLog;
+using rvk::log::Word;
+
+void BM_LogAppend(benchmark::State& state) {
+  UndoLog log(1 << 20);
+  std::vector<Word> slots(256, 0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    Word* addr = &slots[i & 255];
+    log.record(EntryKind::kObjectField, addr, *addr, slots.data(),
+               static_cast<std::uint32_t>(i & 255));
+    if (log.size() >= (1u << 20)) log.discard_all();
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LogAppend);
+
+void BM_LogRollback(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  UndoLog log(n);
+  std::vector<Word> slots(256, 0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::size_t i = 0; i < n; ++i) {
+      Word* addr = &slots[i & 255];
+      log.record(EntryKind::kArrayElement, addr, *addr, slots.data(),
+                 static_cast<std::uint32_t>(i & 255));
+      *addr = i;
+    }
+    state.ResumeTiming();
+    log.rollback_to(0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel("words undone per rollback: " + std::to_string(n));
+}
+BENCHMARK(BM_LogRollback)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_LogDiscardAll(benchmark::State& state) {
+  const std::size_t n = 1024;
+  UndoLog log(n);
+  std::vector<Word> slots(16, 0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::size_t i = 0; i < n; ++i) {
+      log.record(EntryKind::kObjectField, &slots[i & 15], 0, nullptr, 0);
+    }
+    state.ResumeTiming();
+    log.discard_all();  // the commit path: O(1) truncation
+  }
+}
+BENCHMARK(BM_LogDiscardAll);
+
+}  // namespace
+
+BENCHMARK_MAIN();

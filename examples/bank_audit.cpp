@@ -1,0 +1,161 @@
+// bank_audit: a realistic priority-inversion scenario.
+//
+// Low-priority batch workers continuously transfer money between accounts
+// inside long synchronized sections over the whole ledger.  A high-priority
+// auditor periodically needs a consistent snapshot of the total balance
+// under the same monitor — exactly the "high-priority thread demands some
+// level of guaranteed throughput" situation from the paper's introduction.
+//
+// With revocation, the auditor preempts whichever batch worker holds the
+// ledger: the worker's partially applied transfers are rolled back (so the
+// auditor's total is always exact) and re-executed afterwards.
+//
+// The program runs the same scenario on the "unmodified VM" (blocking
+// monitor) and the revocation engine, and reports the auditor's worst-case
+// and average snapshot latency under both.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "heap/heap.hpp"
+#include "monitor/monitor.hpp"
+#include "rt/scheduler.hpp"
+
+namespace {
+
+constexpr int kAccounts = 32;
+constexpr std::uint64_t kInitialBalance = 1000;
+constexpr int kAudits = 25;
+constexpr int kTransfersPerBatch = 400;
+constexpr int kBatchWorkers = 4;
+
+struct Result {
+  std::uint64_t worst_latency = 0;
+  double avg_latency = 0;
+  std::uint64_t rollbacks = 0;
+  bool totals_always_consistent = true;
+};
+
+Result run(bool revocable) {
+  using namespace rvk;
+  rt::Scheduler sched;
+  std::unique_ptr<core::Engine> engine;
+  core::RevocableMonitor* rmon = nullptr;
+  std::unique_ptr<monitor::BlockingMonitor> bmon;
+  if (revocable) {
+    engine = std::make_unique<core::Engine>(sched);
+    rmon = engine->make_monitor("ledger");
+  } else {
+    bmon = std::make_unique<monitor::BlockingMonitor>("ledger");
+  }
+
+  heap::Heap heap;
+  heap::HeapArray<std::uint64_t>* accounts =
+      heap.alloc_array<std::uint64_t>(kAccounts);
+  for (int i = 0; i < kAccounts; ++i) {
+    accounts->set_unlogged(i, kInitialBalance);
+  }
+
+  bool auditor_done = false;
+  Result result;
+
+  // Batch workers: long transfer batches under the ledger monitor.
+  for (int w = 0; w < kBatchWorkers; ++w) {
+    sched.spawn("batch-" + std::to_string(w), 2, [&, w] {
+      SplitMix64 rng(0xBA7C4 + w);
+      while (!auditor_done) {
+        const std::uint64_t batch_seed = rng.next();
+        auto batch = [&] {
+          SplitMix64 brng(batch_seed);
+          for (int i = 0; i < kTransfersPerBatch; ++i) {
+            const std::size_t from = brng.next_below(kAccounts);
+            const std::size_t to = brng.next_below(kAccounts);
+            const std::uint64_t amount = brng.next_below(10);
+            const std::uint64_t have = accounts->get(from);
+            if (have >= amount) {
+              // Mid-batch the ledger total is transiently wrong — which is
+              // why the auditor must never observe a partial batch.
+              accounts->set(from, have - amount);
+              sched.yield_point();
+              accounts->set(to, accounts->get(to) + amount);
+            }
+            sched.yield_point();
+          }
+        };
+        if (revocable) {
+          engine->synchronized(*rmon, batch);
+        } else {
+          bmon->acquire();
+          batch();
+          bmon->release();
+        }
+        sched.sleep_for(rng.next_below(50));
+      }
+    });
+  }
+
+  // The auditor: high-priority consistent snapshots.
+  sched.spawn("auditor", 9, [&] {
+    std::uint64_t total_latency = 0;
+    for (int a = 0; a < kAudits; ++a) {
+      sched.sleep_for(200);
+      const std::uint64_t t0 = sched.now();
+      std::uint64_t total = 0;
+      auto audit = [&] {
+        total = 0;
+        for (int i = 0; i < kAccounts; ++i) {
+          total += accounts->get(i);
+          sched.yield_point();
+        }
+      };
+      if (revocable) {
+        engine->synchronized(*rmon, audit);
+      } else {
+        bmon->acquire();
+        audit();
+        bmon->release();
+      }
+      const std::uint64_t latency = sched.now() - t0;
+      total_latency += latency;
+      result.worst_latency = std::max(result.worst_latency, latency);
+      if (total != kAccounts * kInitialBalance) {
+        result.totals_always_consistent = false;
+      }
+    }
+    result.avg_latency = static_cast<double>(total_latency) / kAudits;
+    auditor_done = true;
+  });
+
+  sched.run();
+  if (engine) result.rollbacks = engine->stats().rollbacks_completed;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bank_audit: %d accounts, %d batch workers, %d audits\n\n",
+              kAccounts, kBatchWorkers, kAudits);
+  const Result blocking = run(/*revocable=*/false);
+  const Result revoking = run(/*revocable=*/true);
+
+  std::printf("%-28s %15s %15s\n", "", "blocking VM", "revocable VM");
+  std::printf("%-28s %15llu %15llu\n", "auditor worst latency (ticks)",
+              static_cast<unsigned long long>(blocking.worst_latency),
+              static_cast<unsigned long long>(revoking.worst_latency));
+  std::printf("%-28s %15.1f %15.1f\n", "auditor avg latency (ticks)",
+              blocking.avg_latency, revoking.avg_latency);
+  std::printf("%-28s %15llu %15llu\n", "batch rollbacks",
+              static_cast<unsigned long long>(blocking.rollbacks),
+              static_cast<unsigned long long>(revoking.rollbacks));
+  std::printf("%-28s %15s %15s\n", "audit totals consistent",
+              blocking.totals_always_consistent ? "yes" : "NO",
+              revoking.totals_always_consistent ? "yes" : "NO");
+  std::printf(
+      "\nThe revocable VM preempts batch workers at the auditor's arrival;\n"
+      "their partial transfers are rolled back, so snapshots stay exact\n"
+      "while worst-case latency drops by roughly the batch length.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// bytecode_rollback: the paper's §3.1.1 transformation, executed literally.
+//
+// A low-priority "compiled Java method" pushes two operands, enters a
+// monitor, does a long field-update loop, then CONSUMES the pre-entry
+// operands after the loop.  When the high-priority thread preempts it, the
+// VM aborts the section, restores the saved operand stack and locals, and
+// transfers control back to the monitorenter — "the contents of the VM's
+// operand stack before executing a monitorenter operation must be the same
+// at the first invocation and at all subsequent invocations resulting from
+// that section's re-execution."
+#include <cstdio>
+#include <iostream>
+
+#include "core/engine.hpp"
+#include "core/report.hpp"
+#include "heap/heap.hpp"
+#include "rt/scheduler.hpp"
+#include "vm/interpreter.hpp"
+
+int main() {
+  using namespace rvk;
+  rt::Scheduler sched;
+  core::Engine engine(sched);
+  heap::Heap heap;
+
+  vm::Machine machine;
+  machine.engine = &engine;
+  machine.statics = &heap.statics();
+  machine.objects.push_back(heap.alloc("o", 2));
+  machine.monitors.push_back(engine.make_monitor("M"));
+
+  // The "bytecode" of the low-priority method.
+  vm::Builder b;
+  auto loop = b.label();
+  auto done = b.label();
+  b.push(40);          // operand stack: [40]      — saved at monitorenter
+  b.push(2);           // operand stack: [40 2]
+  b.monitor_enter(0);  // §3.1.1: stack+locals snapshot taken here
+  b.push(0).store(0);
+  b.bind(loop);
+  b.load(0).push(2000).cmp_lt();
+  b.jz(done);
+  b.load(0).put_field(0, 0);  // speculative stores, logged by the barrier
+  b.load(0).push(1).add().store(0);
+  b.jump(loop);
+  b.bind(done);
+  b.add();             // consumes the pre-entry operands: 40 + 2
+  b.put_field(0, 1);   // o.f1 = 42
+  b.monitor_exit();
+  b.halt();
+  const vm::Program prog = b.build();
+
+  std::printf("low-priority bytecode (%zu instructions):\n",
+              prog.code.size());
+  for (std::size_t i = 0; i < prog.code.size(); ++i) {
+    std::printf("  %2zu: %s\n", i, vm::to_string(prog.code[i]).c_str());
+  }
+
+  vm::VmResult lo;
+  sched.spawn("lo-vm", 2, [&] { lo = vm::execute(machine, prog); });
+  sched.spawn("hi", 8, [&] {
+    sched.sleep_for(300);
+    engine.synchronized(*machine.monitors[0], [&] {
+      std::printf("\n[tick %llu] hi entered: o.f0 = %llu (partial loop "
+                  "results revoked)\n",
+                  static_cast<unsigned long long>(sched.now()),
+                  static_cast<unsigned long long>(
+                      machine.objects[0]->get_word(0)));
+    });
+  });
+  sched.run();
+
+  std::printf(
+      "\nlo-vm: halted=%d, %llu instruction executions, %llu rollback(s)\n"
+      "final heap: o.f0 = %llu, o.f1 = %llu (42 proves the operand stack\n"
+      "was restored: the re-execution re-consumed the pre-entry 40 and 2)\n\n",
+      lo.halted ? 1 : 0, static_cast<unsigned long long>(lo.instructions),
+      static_cast<unsigned long long>(lo.rollbacks),
+      static_cast<unsigned long long>(machine.objects[0]->get_word(0)),
+      static_cast<unsigned long long>(machine.objects[0]->get_word(1)));
+  core::print_engine_report(engine, std::cout);
+  return (lo.halted && machine.objects[0]->get_word(1) == 42) ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// native_threads: the pthreadrt extension — revocable locking for real
+// std::thread, outside the green-thread VM.
+//
+// A low-priority logger batches records into a shared ring under a
+// RevocableMutex; a high-priority alerting thread occasionally needs the
+// same lock NOW.  With a plain mutex the alert waits out the whole batch;
+// with the revocable mutex the batch is rolled back at the logger's next
+// safepoint and the alert proceeds.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "pthreadrt/revocable_mutex.hpp"
+
+int main() {
+  using namespace rvk::pthreadrt;
+  using Clock = std::chrono::steady_clock;
+
+  RevocableMutex ring_lock("ring");
+  constexpr int kRing = 64;
+  std::vector<std::unique_ptr<TxCell<std::uint64_t>>> ring;
+  for (int i = 0; i < kRing; ++i) {
+    ring.push_back(std::make_unique<TxCell<std::uint64_t>>(ring_lock, 0));
+  }
+  TxCell<std::uint64_t> head(ring_lock, 0);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> alerts_served{0};
+  std::atomic<std::int64_t> worst_alert_ns{0};
+  int logger_rollbacks = 0;
+
+  std::thread logger([&] {
+    std::uint64_t record = 0;
+    while (!stop.load()) {
+      logger_rollbacks += ring_lock.run(2, [&](Section& s) {
+        // A long batch: 4k records, safepoint-polled.
+        const std::uint64_t base = s.read(head);
+        for (int i = 0; i < 4000; ++i) {
+          const std::uint64_t h = (base + i) % kRing;
+          s.write(*ring[static_cast<std::size_t>(h)], record + i);
+          s.safepoint();
+        }
+        s.write(head, (base + 4000) % kRing);
+      });
+      record += 4000;
+    }
+  });
+
+  std::thread alerter([&] {
+    for (int a = 0; a < 50; ++a) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      const auto t0 = Clock::now();
+      ring_lock.run(9, [&](Section& s) {
+        (void)s.read(head);  // read a consistent ring head
+      });
+      const auto dt = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          Clock::now() - t0)
+                          .count();
+      if (dt > worst_alert_ns.load()) worst_alert_ns.store(dt);
+      alerts_served.fetch_add(1);
+    }
+    stop.store(true);
+  });
+
+  alerter.join();
+  logger.join();
+
+  const MutexStats st = ring_lock.stats();
+  std::printf(
+      "native_threads: %llu alerts served, worst alert latency %.3f ms\n"
+      "logger: %d rollbacks (%llu revocations requested, %llu commits)\n"
+      "The revocable mutex preempted the logger's 4000-record batches at\n"
+      "its safepoints; every alert saw a consistent ring state.\n",
+      static_cast<unsigned long long>(alerts_served.load()),
+      static_cast<double>(worst_alert_ns.load()) / 1e6, logger_rollbacks,
+      static_cast<unsigned long long>(st.revocations_requested),
+      static_cast<unsigned long long>(st.commits));
+  return 0;
+}

@@ -1,0 +1,131 @@
+// producer_consumer: wait/notify pipelines and the §2.2 wait rule.
+//
+// A bounded queue over the managed heap connects low-priority producers to
+// a high-priority consumer.  Two behaviours of the revocation runtime show
+// up here:
+//
+//  1. Sections that call Object.wait() become NON-revocable (§2.2): a
+//     consumer parked in wait() can never be rolled back, because the
+//     notification it consumed cannot be re-delivered.  The report at the
+//     end counts those pins.
+//  2. Producer sections that only notify() stay revocable — a rolled-back
+//     notification is a legal spurious wakeup — so the high-priority
+//     consumer can still preempt a mid-batch producer.
+#include <cstdio>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+#include "core/report.hpp"
+#include "heap/heap.hpp"
+#include "rt/scheduler.hpp"
+
+namespace {
+
+constexpr int kQueueCapacity = 8;
+constexpr int kItemsPerProducer = 60;
+constexpr int kProducers = 3;
+
+// A bounded FIFO stored in managed-heap slots so queue mutations are
+// speculative inside synchronized sections.
+struct BoundedQueue {
+  rvk::heap::HeapArray<std::uint64_t>* ring;
+  rvk::heap::HeapObject* ctl;  // slot 0 = head, 1 = tail, 2 = size
+
+  std::uint64_t size() { return ctl->get<std::uint64_t>(2); }
+  void push(std::uint64_t v) {
+    const auto tail = ctl->get<std::uint64_t>(1);
+    ring->set(static_cast<std::size_t>(tail % kQueueCapacity), v);
+    ctl->set<std::uint64_t>(1, tail + 1);
+    ctl->set<std::uint64_t>(2, size() + 1);
+  }
+  std::uint64_t pop() {
+    const auto head = ctl->get<std::uint64_t>(0);
+    const auto v = ring->get(static_cast<std::size_t>(head % kQueueCapacity));
+    ctl->set<std::uint64_t>(0, head + 1);
+    ctl->set<std::uint64_t>(2, size() - 1);
+    return v;
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace rvk;
+  rt::Scheduler sched;
+  core::Engine engine(sched);
+  heap::Heap heap;
+
+  BoundedQueue q{heap.alloc_array<std::uint64_t>(kQueueCapacity),
+                 heap.alloc("queue-control", 3)};
+  core::RevocableMonitor* mon = engine.make_monitor("queue");
+
+  std::uint64_t consumed = 0, sum = 0;
+  int producers_done = 0;
+
+  for (int p = 0; p < kProducers; ++p) {
+    sched.spawn("producer-" + std::to_string(p), 2, [&, p] {
+      SplitMix64 rng(0xFACADE + p);
+      for (int i = 0; i < kItemsPerProducer; ++i) {
+        const std::uint64_t item =
+            static_cast<std::uint64_t>(p) * 1000 + static_cast<std::uint64_t>(i);
+        engine.synchronized(*mon, [&] {
+          while (q.size() == kQueueCapacity) {
+            mon->wait();  // queue full: pins this section (§2.2)
+          }
+          q.push(item);
+          // Simulate per-item bookkeeping: a burst of speculative work the
+          // consumer may preempt.
+          for (int w = 0; w < 300; ++w) sched.yield_point();
+          mon->notify_all();
+        });
+        sched.sleep_for(rng.next_below(100));
+      }
+      engine.synchronized(*mon, [&] {
+        ++producers_done;
+        mon->notify_all();
+      });
+    });
+  }
+
+  sched.spawn("consumer", 9, [&] {
+    for (;;) {
+      bool stop = false;
+      std::uint64_t item = 0;
+      bool got = false;
+      engine.synchronized(*mon, [&] {
+        while (q.size() == 0 && producers_done < kProducers) {
+          mon->wait();
+        }
+        if (q.size() > 0) {
+          item = q.pop();
+          got = true;
+          mon->notify_all();
+        } else {
+          stop = true;
+        }
+      });
+      if (got) {
+        ++consumed;
+        sum += item;
+      }
+      if (stop) break;
+      sched.sleep_for(50);
+    }
+  });
+
+  sched.run();
+
+  std::printf("consumed %llu items (expected %d), checksum %llu\n\n",
+              static_cast<unsigned long long>(consumed),
+              kProducers * kItemsPerProducer,
+              static_cast<unsigned long long>(sum));
+  core::print_engine_report(engine, std::cout);
+  std::cout << "\n";
+  core::print_monitor_report(engine, std::cout);
+  std::printf(
+      "\nNote the pinned frames: every section that parked in wait() became\n"
+      "non-revocable, while producers' notify-only bursts stayed revocable\n"
+      "and were preempted by the high-priority consumer (rollbacks above).\n");
+  return consumed == kProducers * kItemsPerProducer ? 0 : 1;
+}

@@ -1,0 +1,40 @@
+// Lightweight always-on invariant checking.
+//
+// The runtime substrate (green threads, monitors, undo logs) has many
+// internal invariants whose violation would otherwise surface as memory
+// corruption far from the cause.  RVK_CHECK is enabled in all build types:
+// the hot paths that matter for the paper's measurements (write-barrier fast
+// path, yield points) use RVK_DCHECK, which compiles away in NDEBUG builds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rvk::detail {
+
+// Formats a diagnostic, prints it with source location, and aborts.
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& message);
+
+}  // namespace rvk::detail
+
+#define RVK_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]]                                               \
+      ::rvk::detail::check_failed(__FILE__, __LINE__, #expr, "");           \
+  } while (0)
+
+#define RVK_CHECK_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]]                                               \
+      ::rvk::detail::check_failed(__FILE__, __LINE__, #expr, (msg));        \
+  } while (0)
+
+#ifdef NDEBUG
+#define RVK_DCHECK(expr) ((void)0)
+#else
+#define RVK_DCHECK(expr) RVK_CHECK(expr)
+#endif
+
+#define RVK_UNREACHABLE(msg) \
+  ::rvk::detail::check_failed(__FILE__, __LINE__, "unreachable", (msg))

@@ -1,0 +1,60 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace rvk {
+
+std::size_t Histogram::bucket_of(std::uint64_t v) {
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  const int log2 = 63 - std::countl_zero(v);
+  const std::size_t exponent = static_cast<std::size_t>(log2);
+  // Sub-bucket index from the bits just below the leading one.
+  const std::size_t sub = static_cast<std::size_t>(
+      (v >> (exponent - 4)) & (kSubBuckets - 1));
+  const std::size_t idx = exponent * kSubBuckets + sub;
+  return idx < kBuckets ? idx : kBuckets - 1;
+}
+
+std::uint64_t Histogram::bucket_upper_bound(std::size_t b) {
+  if (b < kSubBuckets) return static_cast<std::uint64_t>(b);
+  const std::size_t exponent = b / kSubBuckets;
+  const std::size_t sub = b % kSubBuckets;
+  return (1ULL << exponent) +
+         ((static_cast<std::uint64_t>(sub) + 1) << (exponent - 4)) - 1;
+}
+
+std::uint64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  RVK_CHECK(q >= 0.0 && q <= 1.0);
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    // A bucket's upper bound can overshoot the true maximum; clamp so the
+    // reported quantiles never exceed an actually observed value.
+    if (seen >= target) return std::min(bucket_upper_bound(b), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << static_cast<std::uint64_t>(mean())
+     << " p50=" << percentile(0.50) << " p95=" << percentile(0.95)
+     << " p99=" << percentile(0.99) << " max=" << max_;
+  return os.str();
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+}  // namespace rvk

@@ -1,0 +1,53 @@
+// Latency histogram with percentile extraction, for the macro benchmarks.
+//
+// Values are bucketed logarithmically (~5% relative precision per bucket),
+// which is plenty for latency distributions and keeps record() to a handful
+// of instructions, safe to call inside measured loops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rvk {
+
+class Histogram {
+ public:
+  Histogram() : buckets_(kBuckets, 0) {}
+
+  void record(std::uint64_t value) {
+    ++count_;
+    sum_ += value;
+    if (value > max_) max_ = value;
+    buckets_[bucket_of(value)] += 1;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  // Value at quantile q in [0,1] (upper bound of the containing bucket).
+  std::uint64_t percentile(double q) const;
+
+  // "p50=… p95=… p99=… max=…" one-liner.
+  std::string summary() const;
+
+  void merge(const Histogram& other);
+
+ private:
+  static constexpr std::size_t kSubBuckets = 16;  // per power of two
+  static constexpr std::size_t kBuckets = 64 * kSubBuckets;
+
+  static std::size_t bucket_of(std::uint64_t v);
+  static std::uint64_t bucket_upper_bound(std::size_t b);
+
+  std::vector<std::uint32_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace rvk

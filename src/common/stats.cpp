@@ -1,0 +1,35 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+namespace rvk {
+
+double t_critical_90(std::size_t dof) {
+  // Two-sided 90% (alpha = 0.10, 0.95 quantile) critical values.
+  static const double table[] = {
+      /* dof=1 */ 6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860,
+      /* 9  */ 1.833, 1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746,
+      /* 17 */ 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711,
+      /* 25 */ 1.708, 1.706, 1.703, 1.701, 1.699, 1.697};
+  if (dof == 0) return 0.0;
+  if (dof <= 30) return table[dof - 1];
+  return 1.645;  // normal approximation
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.n = samples.size();
+  if (s.n == 0) return s;
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n < 2) return s;
+  double ss = 0.0;
+  for (double v : samples) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+  const double sem = s.stddev / std::sqrt(static_cast<double>(s.n));
+  s.ci90_half = t_critical_90(s.n - 1) * sem;
+  return s;
+}
+
+}  // namespace rvk

@@ -1,0 +1,32 @@
+// Summary statistics used by the experiment harness.
+//
+// The paper reports "the average elapsed time for the five subsequent
+// iterations, and … 90% confidence intervals" (§4.1).  `Summary` reproduces
+// that reporting: sample mean plus a two-sided 90% CI from the Student-t
+// distribution for small sample counts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rvk {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;      // sample standard deviation (n-1)
+  double ci90_half = 0.0;   // half-width of the 90% confidence interval
+  std::size_t n = 0;
+
+  double lo() const { return mean - ci90_half; }
+  double hi() const { return mean + ci90_half; }
+};
+
+// Computes mean / sample stddev / 90% CI half-width for `samples`.
+// With fewer than two samples the CI is zero.
+Summary summarize(const std::vector<double>& samples);
+
+// Two-sided 90% critical value of Student's t with `dof` degrees of freedom.
+// Exact table for dof 1..30, asymptotic 1.645 beyond.
+double t_critical_90(std::size_t dof);
+
+}  // namespace rvk

@@ -1,0 +1,562 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+
+#include "heap/heap.hpp"
+#include "jmm/trace.hpp"
+
+namespace rvk::core {
+
+namespace {
+// The engine installs process-global barrier hooks; only one may be active.
+Engine* g_active_engine = nullptr;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+
+Engine::Engine(rt::Scheduler& sched, EngineConfig cfg)
+    : sched_(sched), cfg_(cfg) {
+  RVK_CHECK_MSG(g_active_engine == nullptr,
+                "another Engine is already active");
+  g_active_engine = this;
+
+  sched_.set_revocation_deliverer([this](rt::VThread* t) { deliver(t); });
+  sched_.set_stall_hook([this]() { return on_stall(); });
+  if (cfg_.detection == DetectionMode::kBackground ||
+      cfg_.detection == DetectionMode::kBoth) {
+    sched_.set_background_hook([this]() { background_sweep(); });
+    sched_.set_background_period(cfg_.background_period);
+  }
+
+  heap::set_dependency_tracking(cfg_.jmm_guard);
+  heap::set_dedup_logging(cfg_.dedup_logging);
+  heap::set_alloc_hook(&Engine::alloc_trampoline);
+  if (cfg_.jmm_guard) {
+    heap::set_tracked_read_hook(&Engine::tracked_read_trampoline);
+    if (cfg_.volatile_policy == VolatilePolicy::kConservative) {
+      heap::set_volatile_write_hook(&Engine::volatile_write_trampoline);
+    }
+  }
+}
+
+Engine::~Engine() {
+  heap::set_alloc_hook(nullptr);
+  heap::set_tracked_read_hook(nullptr);
+  heap::set_volatile_write_hook(nullptr);
+  heap::set_dependency_tracking(false);
+  heap::set_dedup_logging(false);
+  sched_.set_revocation_deliverer(nullptr);
+  sched_.set_stall_hook(nullptr);
+  sched_.set_background_hook(nullptr);
+  sched_.set_background_period(0);
+  g_active_engine = nullptr;
+}
+
+RevocableMonitor* Engine::make_monitor(std::string name) {
+  owned_monitors_.push_back(
+      std::make_unique<RevocableMonitor>(std::move(name), *this));
+  return owned_monitors_.back().get();
+}
+
+RevocableMonitor* Engine::monitor_of(const heap::HeapObject* obj) {
+  RVK_CHECK_MSG(obj != nullptr, "synchronized on null object");
+  auto [it, inserted] = object_monitors_.try_emplace(obj, nullptr);
+  if (inserted) it->second = make_monitor("monitor:" + obj->name());
+  return it->second;
+}
+
+ThreadSync& Engine::sync_of(rt::VThread* t) {
+  auto [it, inserted] = sync_states_.try_emplace(t);
+  if (inserted) {
+    it->second = std::make_unique<ThreadSync>();
+    threads_by_id_[t->id()] = t;
+  }
+  return *it->second;
+}
+
+rt::VThread* Engine::thread_by_id(std::uint32_t tid) {
+  auto it = threads_by_id_.find(tid);
+  return it != threads_by_id_.end() ? it->second : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Frame lifecycle
+
+std::uint64_t Engine::enter_frame(RevocableMonitor& m, rt::VThread* t,
+                                  int budget_used) {
+  t->interrupted = false;
+  m.acquire();  // may throw RollbackException targeting an enclosing frame
+  ThreadSync& ts = sync_of(t);
+  Frame f;
+  f.monitor = &m;
+  f.id = next_frame_id_++;
+  f.log_mark = t->undo_log.watermark();
+  f.recursive = m.recursion() > 1;
+  f.revocations = budget_used;
+  ts.frames.push_back(f);
+  ++t->sync_depth;
+  t->current_frame_id = f.id;
+  ++stats_.sections_entered;
+  if (cfg_.trace) jmm::Trace::record_acquire(&m);
+  return f.id;
+}
+
+void Engine::commit_frame(rt::VThread* t) {
+  ThreadSync& ts = sync_of(t);
+  RVK_CHECK_MSG(!ts.frames.empty(), "commit with no active frame");
+  Frame f = std::move(ts.frames.back());
+  ts.frames.pop_back();
+
+  // Allocations stay speculative until the outermost commit: migrate them
+  // to the parent frame (which may still abort and reclaim them).
+  if (!ts.frames.empty() && !f.allocs.empty()) {
+    Frame& parent = ts.frames.back();
+    parent.allocs.insert(parent.allocs.end(), f.allocs.begin(),
+                         f.allocs.end());
+  }
+  --t->sync_depth;
+  t->current_frame_id = ts.frames.empty() ? 0 : ts.frames.back().id;
+
+  // A revocation that races with completion loses: the section's effects
+  // stand and the requester acquires the monitor the ordinary way.
+  if (t->revoke_requested && t->revoke_target_frame == f.id) {
+    t->revoke_requested = false;
+    t->revoke_target_frame = 0;
+    t->revoke_is_deadlock = false;
+    ++stats_.revocations_lost_to_commit;
+    end_boost(t);
+  }
+
+  if (ts.frames.empty()) {
+    // Outermost commit: all speculative stores become permanent.
+    t->undo_log.discard_all();
+    if (cfg_.dedup_logging) t->dedup.clear();  // bound the filter's memory
+    ++t->section_epoch;
+    if (cfg_.trace) jmm::Trace::record_commit_outer();
+  }
+  // Release *after* the bookkeeping; there is no yield point in between, so
+  // the whole step is atomic with respect to other threads.
+  f.monitor->release();
+  ++stats_.sections_committed;
+  if (cfg_.trace) jmm::Trace::record_release(f.monitor);
+}
+
+void Engine::abort_frame(rt::VThread* t, std::uint64_t expected_frame) {
+  ThreadSync& ts = sync_of(t);
+  RVK_CHECK_MSG(!ts.frames.empty(), "abort with no active frame");
+  Frame f = std::move(ts.frames.back());
+  RVK_CHECK_MSG(f.id == expected_frame, "frame stack out of sync with unwind");
+  ts.frames.pop_back();
+
+  // Undo this frame's log segment (reverse replay), then release the
+  // monitor — §3.1.2: "partial results … are reverted before any of the
+  // locks are released".  Green threads make the sequence atomic.
+  if (cfg_.trace) {
+    const log::UndoLog& ul = t->undo_log;
+    for (std::size_t i = ul.size(); i > f.log_mark; --i) {
+      const log::Entry& e = ul.entry(i - 1);
+      jmm::Trace::record_undo(jmm::Loc{e.base, e.offset}, e.old_value);
+    }
+  }
+  stats_.words_undone += t->undo_log.size() - f.log_mark;
+  t->undo_log.rollback_to(f.log_mark);
+
+  --t->sync_depth;
+  t->current_frame_id = ts.frames.empty() ? 0 : ts.frames.back().id;
+  if (ts.frames.empty()) {
+    if (cfg_.dedup_logging) t->dedup.clear();
+    ++t->section_epoch;
+  }
+
+  // Reclaim this frame's speculative allocations: the undo replay above
+  // removed every heap reference to them, so they are unreachable — the
+  // section's allocations "never happened" along with its stores.
+  for (auto& [alloc_heap, obj] : f.allocs) {
+    object_monitors_.erase(obj);  // drop any lazily created object monitor
+    alloc_heap->free(obj);
+    ++stats_.spec_allocs_reclaimed;
+  }
+
+  // release_reserving: the waiter that forced this rollback (or the best
+  // waiter overall) gets the monitor next; the victim's retry may not barge
+  // back in (§4: "the high-priority thread acquires control").
+  f.monitor->release_reserving();
+  ++stats_.frames_aborted;
+  if (cfg_.trace) {
+    jmm::Trace::record_abort_frame(f.id);
+    jmm::Trace::record_release(f.monitor);
+  }
+}
+
+void Engine::after_rollback_backoff(rt::VThread* t, int retries,
+                                    bool deadlock_victim) {
+  (void)t;
+  std::uint64_t base = cfg_.retry_backoff_ticks;
+  if (deadlock_victim) base = std::max(base, cfg_.deadlock_backoff_ticks);
+  if (base == 0) return;
+  const std::uint64_t capped =
+      std::min<std::uint64_t>(base * static_cast<std::uint64_t>(retries),
+                              base * 16);
+  sched_.sleep_for(capped);
+}
+
+// ---------------------------------------------------------------------------
+// Low-level section protocol (interpreter-style clients)
+
+std::uint64_t Engine::section_enter(RevocableMonitor& m, int retries) {
+  rt::VThread* t = sched_.current_thread();
+  RVK_CHECK_MSG(t != nullptr, "section_enter outside a green thread");
+  return enter_frame(m, t, retries);
+}
+
+void Engine::section_commit() {
+  rt::VThread* t = sched_.current_thread();
+  RVK_CHECK_MSG(t != nullptr, "section_commit outside a green thread");
+  commit_frame(t);
+}
+
+void Engine::section_abort() {
+  rt::VThread* t = sched_.current_thread();
+  RVK_CHECK_MSG(t != nullptr, "section_abort outside a green thread");
+  abort_frame(t, t->current_frame_id);
+}
+
+std::uint64_t Engine::current_frame() const {
+  rt::VThread* t = sched_.current_thread();
+  return t != nullptr ? t->current_frame_id : 0;
+}
+
+void Engine::finish_rollback(const RollbackException& e, int retries) {
+  rt::VThread* t = sched_.current_thread();
+  RVK_CHECK_MSG(t != nullptr, "finish_rollback outside a green thread");
+  t->in_rollback = false;
+  end_boost(t);
+  ++stats_.rollbacks_completed;
+  after_rollback_backoff(t, retries, e.deadlock_victim());
+}
+
+// ---------------------------------------------------------------------------
+// Revocation protocol
+
+void Engine::deliver(rt::VThread* t) {
+  const std::uint64_t target = t->revoke_target_frame;
+  const bool deadlock = t->revoke_is_deadlock;
+  t->revoke_requested = false;
+  t->revoke_is_deadlock = false;
+  t->revoke_target_frame = 0;
+
+  ThreadSync& ts = sync_of(t);
+  Frame* f = nullptr;
+  for (Frame& fr : ts.frames) {
+    if (fr.id == target) {
+      f = &fr;
+      break;
+    }
+  }
+  if (f == nullptr) {
+    // The section ended (or was already rolled back) before delivery.
+    ++stats_.revocations_dropped_stale;
+    end_boost(t);
+    return;
+  }
+  if (f->nonrevocable) {
+    // Pinned after the request was posted; revoking now would violate the
+    // JMM (§2.2) — the request is refused and the requester waits normally.
+    ++stats_.revocations_denied_pinned;
+    end_boost(t);
+    return;
+  }
+  t->in_rollback = true;
+  throw RollbackException(target, deadlock);
+}
+
+void Engine::begin_boost(rt::VThread* victim, int boost_to) {
+  if (!cfg_.boost_victim || boost_to <= victim->priority()) return;
+  ThreadSync& ts = sync_of(victim);
+  if (ts.boost_restore_priority < 0) {
+    ts.boost_restore_priority = victim->priority();
+  }
+  victim->set_priority(boost_to);
+}
+
+void Engine::end_boost(rt::VThread* t) {
+  ThreadSync& ts = sync_of(t);
+  if (ts.boost_restore_priority >= 0) {
+    t->set_priority(ts.boost_restore_priority);
+    ts.boost_restore_priority = -1;
+  }
+}
+
+bool Engine::request_revocation(rt::VThread* owner, RevocableMonitor& m,
+                                bool deadlock, int boost_to) {
+  ThreadSync& ts = sync_of(owner);
+  Frame* f = ts.oldest_frame_of(&m);
+  if (f == nullptr) return false;  // monitor taken outside synchronized()
+  if (f->nonrevocable) {
+    ++stats_.revocations_denied_pinned;
+    return false;
+  }
+  if (f->revocations >= cfg_.revocation_budget) {
+    f->nonrevocable = true;
+    f->pin_reason = PinReason::kBudget;
+    ++stats_.revocations_denied_budget;
+    return false;
+  }
+  ++stats_.revocations_requested;
+  if (owner->revoke_requested) {
+    // Merge with the pending request; the outermost target wins so the
+    // unwind satisfies both, and "deadlock" is sticky.
+    owner->revoke_target_frame =
+        std::min(owner->revoke_target_frame, f->id);
+    owner->revoke_is_deadlock |= deadlock;
+  } else {
+    owner->revoke_requested = true;
+    owner->revoke_target_frame = f->id;
+    owner->revoke_is_deadlock = deadlock;
+  }
+  // Until the rollback completes the victim needs CPU to reach a yield
+  // point; under a priority scheduler it inherits the cleared thread's
+  // priority for that window (no-op under round-robin).
+  begin_boost(owner, boost_to);
+  // A blocked or sleeping victim must be woken to serve the request; a
+  // runnable one observes it at its next yield point.
+  sched_.interrupt(owner);
+  return true;
+}
+
+void Engine::on_contended_acquire(rt::VThread* t, RevocableMonitor& m) {
+  if (!cfg_.revocation_enabled) return;
+  rt::VThread* owner = m.owner();
+  if (owner == nullptr) return;
+
+  if (cfg_.detection == DetectionMode::kAtAcquire ||
+      cfg_.detection == DetectionMode::kBoth) {
+    // §4: compare against the priority deposited in the monitor header.
+    if (t->priority() > m.deposited_priority()) {
+      ++stats_.inversions_detected_acquire;
+      request_revocation(owner, m, /*deadlock=*/false,
+                         /*boost_to=*/t->priority());
+    }
+  }
+  if (cfg_.deadlock_detection && cfg_.deadlock_at_acquire) {
+    detect_and_break_deadlock(t, m);
+  }
+}
+
+void Engine::on_blocked(rt::VThread* t, RevocableMonitor& m) {
+  waits_for_[t] = &m;
+}
+
+void Engine::on_unblocked(rt::VThread* t, RevocableMonitor& m) {
+  auto it = waits_for_.find(t);
+  if (it != waits_for_.end() && it->second == &m) waits_for_.erase(it);
+}
+
+void Engine::on_wait_pin(rt::VThread* t) {
+  // Object.wait() inside a section: the release at wait() publishes the
+  // section's prior updates (a happens-before edge to the next acquirer),
+  // and a revocation after wait() returns could not re-deliver the consumed
+  // notification.  Pin every active frame (§2.2; see DESIGN.md for the
+  // nested/non-nested discussion).
+  ThreadSync& ts = sync_of(t);
+  for (Frame& f : ts.frames) {
+    if (!f.nonrevocable) {
+      f.nonrevocable = true;
+      f.pin_reason = PinReason::kWait;
+      ++stats_.frames_pinned;
+      if (cfg_.trace) jmm::Trace::record_pin(f.id);
+    }
+  }
+}
+
+void Engine::pin_current_frames(PinReason reason) {
+  rt::VThread* t = sched_.current_thread();
+  if (t == nullptr) return;
+  ThreadSync& ts = sync_of(t);
+  for (Frame& f : ts.frames) {
+    if (!f.nonrevocable) {
+      f.nonrevocable = true;
+      f.pin_reason = reason;
+      ++stats_.frames_pinned;
+      if (cfg_.trace) jmm::Trace::record_pin(f.id);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock detection (§1.1)
+
+bool Engine::detect_and_break_deadlock(rt::VThread* t, RevocableMonitor& m) {
+  // Build the waits-for chain t → m → owner(m) → its monitor → …  Each
+  // thread blocks on at most one monitor, so the walk is linear; it closes a
+  // cycle iff it returns to `t`.
+  struct Link {
+    rt::VThread* holder;
+    RevocableMonitor* monitor;  // held by `holder`; previous party waits on it
+  };
+  std::vector<Link> chain;
+  RevocableMonitor* cur_mon = &m;
+  rt::VThread* cur = m.owner();
+  while (cur != nullptr) {
+    // A cycle that does not pass through `t` (possible when an earlier
+    // detection could not break it — all members pinned) would make this
+    // walk orbit forever; a revisited thread ends it instead.
+    for (const Link& seen : chain) {
+      if (seen.holder == cur) return false;
+    }
+    chain.push_back(Link{cur, cur_mon});
+    if (cur == t) break;
+    auto it = waits_for_.find(cur);
+    if (it == waits_for_.end()) return false;  // chain ends: no cycle
+    cur_mon = it->second;
+    cur = cur_mon->owner();
+  }
+  if (cur != t) return false;
+  ++stats_.deadlocks_detected;
+
+  // Victim selection: the lowest-priority cycle member whose section for its
+  // cycle monitor is still revocable.
+  const Link* victim = nullptr;
+  for (const Link& link : chain) {
+    Frame* f = sync_of(link.holder).oldest_frame_of(link.monitor);
+    if (f == nullptr || f->nonrevocable ||
+        f->revocations >= cfg_.revocation_budget) {
+      continue;
+    }
+    if (victim == nullptr ||
+        link.holder->priority() < victim->holder->priority()) {
+      victim = &link;
+    }
+  }
+  if (victim == nullptr) return false;  // unresolvable (all pinned)
+
+  // Clear the way for the highest-priority thread queued on the victim's
+  // cycle monitor (or at least the requester).
+  int boost_to = t->priority();
+  if (rt::VThread* w = victim->monitor->entry_queue().peek_best()) {
+    boost_to = std::max(boost_to, w->priority());
+  }
+  if (request_revocation(victim->holder, *victim->monitor,
+                         /*deadlock=*/true, boost_to)) {
+    ++stats_.deadlocks_broken;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler-context hooks
+
+void Engine::background_sweep() {
+  if (!cfg_.revocation_enabled) return;
+  for (RevocableMonitor* m : monitors_) {
+    rt::VThread* owner = m->owner();
+    if (owner == nullptr) continue;
+    if (m->entry_queue().has_waiter_above(m->deposited_priority())) {
+      ++stats_.inversions_detected_background;
+      const rt::VThread* w = m->entry_queue().peek_best();
+      request_revocation(owner, *m, /*deadlock=*/false,
+                         /*boost_to=*/w != nullptr ? w->priority() : 0);
+    }
+  }
+}
+
+bool Engine::on_stall() {
+  if (!cfg_.revocation_enabled || !cfg_.deadlock_detection) return false;
+  // Nothing is runnable; look for a breakable cycle among blocked threads.
+  for (const auto& [t, m] : waits_for_) {
+    if (detect_and_break_deadlock(t, *m)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// JMM guard (§2.2)
+
+void Engine::pin_frames_up_to(rt::VThread* writer, std::uint64_t frame_id,
+                              PinReason reason) {
+  ThreadSync& ts = sync_of(writer);
+  bool pinned = false;
+  for (Frame& f : ts.frames) {
+    if (f.id > frame_id) break;  // entered after the write: unaffected
+    if (!f.nonrevocable) {
+      f.nonrevocable = true;
+      f.pin_reason = reason;
+      ++stats_.frames_pinned;
+      pinned = true;
+      if (cfg_.trace) jmm::Trace::record_pin(f.id);
+    }
+  }
+  (void)pinned;
+}
+
+void Engine::on_tracked_read(heap::ObjectMeta& meta) {
+  // Fast path first: in monitor-mediated workloads nearly every marked read
+  // is a thread re-reading its own speculation, which needs no map lookup.
+  rt::VThread* reader = sched_.current_thread();
+  if (reader != nullptr && meta.writer_tid == reader->id()) {
+    if (reader->section_epoch == meta.writer_epoch && reader->sync_depth > 0) {
+      return;  // own live speculation
+    }
+    meta.clear();  // own stale mark
+    return;
+  }
+  rt::VThread* writer = thread_by_id(meta.writer_tid);
+  if (writer == nullptr) {
+    meta.clear();
+    return;
+  }
+  if (writer->section_epoch != meta.writer_epoch || writer->sync_depth == 0) {
+    meta.clear();  // the writing section instance is over: mark is stale
+    return;
+  }
+  // A read-write dependency escaped the writer's section: every frame that
+  // would undo the write on rollback becomes non-revocable (§2.2).
+  ++stats_.foreign_reads_observed;
+  pin_frames_up_to(writer, meta.writer_frame, PinReason::kDependency);
+}
+
+void Engine::on_volatile_write() {
+  pin_current_frames(PinReason::kVolatile);
+}
+
+void Engine::tracked_read_trampoline(heap::ObjectMeta& meta,
+                                     const void* base) {
+  (void)base;
+  if (g_active_engine != nullptr) g_active_engine->on_tracked_read(meta);
+}
+
+void Engine::volatile_write_trampoline(const void* var) {
+  (void)var;
+  if (g_active_engine != nullptr) g_active_engine->on_volatile_write();
+}
+
+void Engine::alloc_trampoline(heap::Heap* heap, heap::HeapObject* obj) {
+  if (g_active_engine != nullptr) g_active_engine->on_alloc(heap, obj);
+}
+
+void Engine::on_alloc(heap::Heap* heap, heap::HeapObject* obj) {
+  rt::VThread* t = sched_.current_thread();
+  if (t == nullptr || t->sync_depth == 0) return;  // not speculative
+  ThreadSync& ts = sync_of(t);
+  ts.frames.back().allocs.emplace_back(heap, obj);
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+
+const EngineStats& Engine::stats() {
+  stats_.log_appends = 0;
+  for (const auto& [t, ts] : sync_states_) {
+    stats_.log_appends += t->undo_log.stats().appends;
+  }
+  return stats_;
+}
+
+void Engine::reset_stats() {
+  stats_ = EngineStats{};
+  for (const auto& [t, ts] : sync_states_) t->undo_log.reset_stats();
+}
+
+}  // namespace rvk::core

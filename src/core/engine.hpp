@@ -1,0 +1,336 @@
+// The revocation engine — the paper's primary contribution.
+//
+// Engine ties the substrates together into the scheme of §1.1/§2/§3:
+//
+//  * synchronized(m, body) runs `body` as a *speculative* synchronized
+//    section: a Frame records the undo-log watermark at entry; a rollback
+//    exception unwinding through the frame replays the log suffix in
+//    reverse, releases the monitor, and — if the frame is the rollback
+//    target — re-executes the body from the start ("the end effect of the
+//    rollback is as if the low-priority thread never executed the section").
+//  * Priority inversion is detected at contended acquisition (deposited
+//    owner priority < acquirer priority) and/or by a periodic background
+//    sweep; resolution posts a revocation request that the victim serves at
+//    its next yield point (§4).
+//  * Deadlock is detected by walking the waits-for chain at blocking time
+//    (and from the scheduler's stall hook); a revocable victim in the cycle
+//    is rolled back, breaking the cycle (§1.1).
+//  * JMM consistency (§2.2): frames become non-revocable when a read-write
+//    dependency escapes them (dependency-tracking read barrier), when a
+//    volatile write escapes (precise) or occurs (conservative policy), when
+//    a native method runs inside the section, or when the section executes
+//    Object.wait().  Requests against pinned frames are refused; requests
+//    that race with a pin are dropped at delivery.
+//
+// One Engine may be active per scheduler at a time (it installs global
+// barrier hooks); construct it after the Scheduler and destroy it before.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/frame.hpp"
+#include "core/revocable_monitor.hpp"
+#include "core/rollback.hpp"
+#include "heap/barriers.hpp"
+#include "heap/object.hpp"
+#include "rt/scheduler.hpp"
+
+namespace rvk::core {
+
+// When the runtime looks for priority inversion (§1.1: "either at lock
+// acquisition, or periodically in the background").
+enum class DetectionMode : std::uint8_t {
+  kAtAcquire,
+  kBackground,
+  kBoth,
+  kNone,  // revocation machinery active (logging, frames) but never triggered
+};
+
+// How volatile writes inside sections are treated (§2.2 / Figure 3).
+enum class VolatilePolicy : std::uint8_t {
+  // Pin the writer's frames only when a foreign volatile read actually
+  // observes the speculative value (the paper's read-write dependency rule).
+  kPrecise,
+  // Pin at the volatile write itself; cheaper, strictly more conservative.
+  kConservative,
+};
+
+struct EngineConfig {
+  // Master switch: false turns every detection/revocation path off while
+  // keeping frames and logging (isolates barrier overhead in ablations).
+  bool revocation_enabled = true;
+
+  DetectionMode detection = DetectionMode::kAtAcquire;
+
+  // Dispatches between background sweeps (kBackground/kBoth only).
+  std::uint64_t background_period = 25;
+
+  // §2.2 JMM guard: track read-write dependencies and pin non-revocable
+  // frames.  Disabling it is ONLY sound for workloads where all accesses to
+  // shared data are monitor-mediated (like the paper's micro-benchmark).
+  bool jmm_guard = true;
+
+  VolatilePolicy volatile_policy = VolatilePolicy::kPrecise;
+
+  // Deadlock detection/resolution by revocation (§1.1).
+  bool deadlock_detection = true;
+
+  // Where deadlock cycles are looked for: at every contended acquisition
+  // (eager, the default) and/or from the scheduler's stall hook when nothing
+  // is runnable (lazy; always on when deadlock_detection is).  Ablation knob.
+  bool deadlock_at_acquire = true;
+
+  // Virtual-tick backoff (scaled by retry count) a deadlock victim sleeps
+  // before re-running its section, so the thread the monitor was handed to
+  // can actually take it; prevents a high-priority victim from stealing the
+  // handoff back and re-forming the cycle forever.
+  std::uint64_t deadlock_backoff_ticks = 64;
+
+  // Transiently raise a revocation victim to the requester's priority until
+  // its rollback completes.  Under the paper's round-robin scheduler this
+  // is a no-op (ready-queue order ignores priorities); under the
+  // strict-priority scheduler it is essential — otherwise medium-priority
+  // threads can starve the victim of the CPU it needs to reach a yield
+  // point and roll back, recreating the inversion inside the mechanism.
+  bool boost_victim = true;
+
+  // Livelock guard (extension; the paper notes "a sequence of deadlock
+  // revocations may result in livelock" without solving it): a section
+  // instance revoked more than this many times is pinned non-revocable.
+  int revocation_budget = std::numeric_limits<int>::max();
+
+  // Virtual-tick backoff before a revoked section retries (0 = rely on the
+  // monitor's handoff reservation alone, which already orders the
+  // high-priority thread first).
+  std::uint64_t retry_backoff_ticks = 0;
+
+  // Extension (paper §6 future work): within one frame, log only the FIRST
+  // store to each location — a rollback restores the pre-frame value either
+  // way, and intermediate values are never observable.  Big win for
+  // write-heavy sections over small working sets; ablated in
+  // bench/ablation_dedup.
+  bool dedup_logging = false;
+
+  // Record a jmm::Trace-compatible event stream (tests only).
+  bool trace = false;
+};
+
+struct EngineStats {
+  std::uint64_t sections_entered = 0;
+  std::uint64_t sections_committed = 0;
+  std::uint64_t frames_aborted = 0;       // frames unwound by rollbacks
+  std::uint64_t rollbacks_completed = 0;  // target frames restarted
+  std::uint64_t revocations_requested = 0;
+  std::uint64_t revocations_denied_pinned = 0;  // target non-revocable
+  std::uint64_t revocations_denied_budget = 0;
+  std::uint64_t revocations_dropped_stale = 0;  // invalid at delivery
+  std::uint64_t revocations_lost_to_commit = 0; // section finished first
+  std::uint64_t inversions_detected_acquire = 0;
+  std::uint64_t inversions_detected_background = 0;
+  std::uint64_t deadlocks_detected = 0;
+  std::uint64_t deadlocks_broken = 0;
+  std::uint64_t frames_pinned = 0;
+  std::uint64_t foreign_reads_observed = 0;
+  std::uint64_t spec_allocs_reclaimed = 0;  // allocations undone by rollbacks
+  std::uint64_t words_undone = 0;
+  std::uint64_t log_appends = 0;
+};
+
+class Engine {
+ public:
+  Engine(rt::Scheduler& sched, EngineConfig cfg = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const EngineConfig& config() const { return cfg_; }
+  rt::Scheduler& scheduler() const { return sched_; }
+
+  // Creates an engine-owned revocable monitor.
+  RevocableMonitor* make_monitor(std::string name);
+
+  // Java: "every object can act as a monitor" (§2).  Returns the monitor
+  // lazily associated with `obj` — the lock-nursery pattern Jikes RVM uses
+  // for objects whose header has no inflated lock.  The association lives
+  // for the engine's lifetime.
+  RevocableMonitor* monitor_of(const heap::HeapObject* obj);
+
+  // synchronized(obj) { body; } — Java's object-monitor form.
+  template <typename F>
+  void synchronized(const heap::HeapObject* obj, F&& body) {
+    synchronized(*monitor_of(obj), std::forward<F>(body));
+  }
+
+  // Runs `body` as a speculative synchronized section guarded by `m`
+  // (Java's `synchronized (m) { body(); }`).  `body` re-executes from the
+  // start if the section is revoked; captures are re-read, so by-reference
+  // captures of heap state behave exactly like the saved locals/operand
+  // stack of the paper's bytecode transformation.  Any non-heap effects in
+  // `body` must be idempotent or guarded by Cleanup/native scopes.
+  template <typename F>
+  void synchronized(RevocableMonitor& m, F&& body) {
+    rt::VThread* t = sched_.current_thread();
+    RVK_CHECK_MSG(t != nullptr, "synchronized outside a green thread");
+    int budget_used = 0;
+    for (;;) {
+      const std::uint64_t frame_id = enter_frame(m, t, budget_used);
+      try {
+        body();
+        commit_frame(t);
+        return;
+      } catch (RollbackException& e) {
+        abort_frame(t, frame_id);
+        if (e.target_frame() != frame_id) throw;  // unwind to outer section
+        // This frame is the rollback target: retry from the top.
+        t->in_rollback = false;
+        end_boost(t);  // rollback done: shed any transient victim boost
+        ++budget_used;
+        ++stats_.rollbacks_completed;
+        after_rollback_backoff(t, budget_used, e.deadlock_victim());
+      } catch (...) {
+        // An ordinary (user) exception: Java semantics release the monitor
+        // on abrupt completion but do NOT undo the section's updates.
+        commit_frame(t);
+        throw;
+      }
+    }
+  }
+
+  // ---- Low-level section protocol ----
+  //
+  // The primitives synchronized() is built from, exposed for clients that
+  // cannot express sections as C++ scopes — the vm/ interpreter implements
+  // the paper's actual bytecode transformation (§3.1.1) with these:
+  // monitorenter = section_enter, monitorexit = section_commit, and the
+  // injected rollback-exception handler = catch RollbackException, pop
+  // frames with section_abort until the target, then finish_rollback and
+  // transfer control back to the monitorenter.
+  //
+  // Contract: frames are strictly LIFO per thread; every section_enter is
+  // matched by exactly one section_commit or section_abort.
+
+  // Enters a section on `m` (blocks; may throw RollbackException targeting
+  // an ENCLOSING frame).  `retries` seeds the frame's revocation budget.
+  // Returns the new frame's id.
+  std::uint64_t section_enter(RevocableMonitor& m, int retries = 0);
+
+  // Commits the innermost frame (Java monitorexit / abrupt completion:
+  // updates stand, monitor released).
+  void section_commit();
+
+  // Aborts the innermost frame (undo + release); returns its frame id.
+  void section_abort();
+
+  // Innermost active frame id of the current thread (0 if none).
+  std::uint64_t current_frame() const;
+
+  // Call after aborting down to (and including) the rollback target:
+  // clears the in-rollback flag, sheds the victim boost, counts the
+  // completed rollback, and applies the retry backoff.
+  void finish_rollback(const RollbackException& e, int retries);
+
+  // Marks every active frame of the current thread non-revocable.  Wrap
+  // irrevocable actions (I/O, syscalls) in a NativeCallScope, which calls
+  // this — §2.2: "Calling a native method within a monitor also forces
+  // non-revocability of the monitor (and all of its enclosing monitors)".
+  void pin_current_frames(PinReason reason);
+
+  const EngineStats& stats();
+  void reset_stats();
+
+  // Monitors currently registered with this engine (for reports/sweeps).
+  const std::vector<RevocableMonitor*>& monitors() const { return monitors_; }
+
+  // ---- Internal protocol (used by RevocableMonitor and hooks) ----
+
+  // Contended-acquire processing for thread `t` wanting `m`: inversion
+  // detection (kAtAcquire) and deadlock detection.  May post a revocation
+  // request against m's owner, or throw RollbackException if `t` itself is
+  // chosen as a deadlock victim.
+  void on_contended_acquire(rt::VThread* t, RevocableMonitor& m);
+
+  void on_blocked(rt::VThread* t, RevocableMonitor& m);
+  void on_unblocked(rt::VThread* t, RevocableMonitor& m);
+  void on_wait_pin(rt::VThread* t);
+
+  // Posts a revocation request for the oldest frame of `m` held by `owner`.
+  // Returns false (and records why) if the frame is non-revocable or over
+  // budget.  `deadlock` marks deadlock-breaking requests (victim backoff);
+  // `boost_to` is the priority of the thread being cleared a path (the
+  // victim is transiently raised to it when EngineConfig::boost_victim).
+  bool request_revocation(rt::VThread* owner, RevocableMonitor& m,
+                          bool deadlock = false, int boost_to = 0);
+
+  ThreadSync& sync_of(rt::VThread* t);
+
+ private:
+  std::uint64_t enter_frame(RevocableMonitor& m, rt::VThread* t,
+                            int budget_used);
+  void commit_frame(rt::VThread* t);
+  void abort_frame(rt::VThread* t, std::uint64_t expected_frame);
+  void after_rollback_backoff(rt::VThread* t, int retries,
+                              bool deadlock_victim);
+  void begin_boost(rt::VThread* victim, int boost_to);
+  void end_boost(rt::VThread* t);
+
+  // Revocation delivery (installed as the scheduler's deliverer): validates
+  // the pending request against the thread's live frames and either throws
+  // RollbackException or drops the request.
+  void deliver(rt::VThread* t);
+
+  // Deadlock detection: walks the waits-for chain assuming `t` blocks on
+  // `m`; on a cycle, picks and revokes a victim.  Returns true if a cycle
+  // was found and broken.  Throws if `t` itself is the victim.
+  bool detect_and_break_deadlock(rt::VThread* t, RevocableMonitor& m);
+
+  // Background sweep: request revocation wherever a queued waiter outranks
+  // the deposited owner priority.  Runs in scheduler context.
+  void background_sweep();
+
+  // Stall hook: last-chance deadlock resolution when nothing is runnable.
+  bool on_stall();
+
+  // JMM guard plumbing (static trampolines use g_active_engine).
+  void on_tracked_read(heap::ObjectMeta& meta);
+  void on_volatile_write();
+  void pin_frames_up_to(rt::VThread* writer, std::uint64_t frame_id,
+                        PinReason reason);
+  static void tracked_read_trampoline(heap::ObjectMeta& meta,
+                                      const void* base);
+  static void volatile_write_trampoline(const void* var);
+  static void alloc_trampoline(heap::Heap* heap, heap::HeapObject* obj);
+  void on_alloc(heap::Heap* heap, heap::HeapObject* obj);
+
+  rt::VThread* thread_by_id(std::uint32_t tid);
+
+  rt::Scheduler& sched_;
+  EngineConfig cfg_;
+  EngineStats stats_;
+
+  std::unordered_map<rt::VThread*, std::unique_ptr<ThreadSync>> sync_states_;
+  std::unordered_map<std::uint32_t, rt::VThread*> threads_by_id_;
+  std::unordered_map<rt::VThread*, RevocableMonitor*> waits_for_;
+  std::unordered_map<const heap::HeapObject*, RevocableMonitor*>
+      object_monitors_;  // lock nursery for per-object monitors
+  std::vector<RevocableMonitor*> monitors_;       // registered, for sweeps
+  std::vector<std::unique_ptr<RevocableMonitor>> owned_monitors_;
+  std::uint64_t next_frame_id_ = 1;
+
+  friend class RevocableMonitor;
+};
+
+// RAII marker for irrevocable actions inside synchronized sections.
+class NativeCallScope {
+ public:
+  explicit NativeCallScope(Engine& e) { e.pin_current_frames(PinReason::kNativeCall); }
+};
+
+}  // namespace rvk::core

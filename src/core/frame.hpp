@@ -1,0 +1,80 @@
+// Synchronized-section frames.
+//
+// Each dynamic entry into a synchronized section pushes a Frame on the
+// owning thread's frame stack.  A frame remembers everything needed to make
+// the section speculative: which monitor guards it, the undo-log watermark
+// at entry (§3.1.2 — rollback replays the log suffix above it), whether the
+// entry was recursive, and the section's revocability status (§2.2).
+//
+// Frame ids are allocated from a single monotonically increasing counter, so
+// within one thread's stack ids strictly increase with nesting depth.  The
+// JMM guard exploits this: "pin every frame whose id is <= the writer's
+// frame id" marks exactly the write's enclosing sections.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rvk::heap {
+class Heap;
+class HeapObject;
+}  // namespace rvk::heap
+
+namespace rvk::core {
+
+class RevocableMonitor;
+
+// Why a frame became non-revocable; kept for statistics and diagnostics.
+enum class PinReason : std::uint8_t {
+  kNone = 0,
+  kDependency,   // read-write dependency escaped to another thread (§2.2)
+  kVolatile,     // volatile written inside, conservative policy
+  kNativeCall,   // native method invoked inside the section (§2.2)
+  kWait,         // Object.wait() called inside the section (§2.2)
+  kBudget,       // livelock guard: revocation budget exhausted (extension)
+  kManual,       // user pinned explicitly
+};
+
+struct Frame {
+  RevocableMonitor* monitor = nullptr;
+  std::uint64_t id = 0;
+  std::size_t log_mark = 0;     // undo-log watermark at entry
+  bool recursive = false;       // monitor already held by this thread
+  bool nonrevocable = false;
+  PinReason pin_reason = PinReason::kNone;
+  int revocations = 0;          // times this section instance was revoked
+
+  // Objects allocated while this frame was innermost.  On abort they are
+  // reclaimed (the section "never executed"; its heap stores are undone, so
+  // nothing can reference them); on commit they migrate to the parent frame
+  // and become permanent at the outermost commit.
+  std::vector<std::pair<heap::Heap*, heap::HeapObject*>> allocs;
+};
+
+// Per-thread engine state, attached to rt::VThread::engine_state.
+struct ThreadSync {
+  std::vector<Frame> frames;
+
+  // Pre-boost priority while a revocation request is pending against this
+  // thread (EngineConfig::boost_victim); -1 when no boost is active.
+  int boost_restore_priority = -1;
+
+  // Oldest (outermost) active frame guarding `m`, or nullptr.  Revocation
+  // targets this frame so the monitor is fully released by the unwind.
+  Frame* oldest_frame_of(const RevocableMonitor* m) {
+    for (Frame& f : frames) {
+      if (f.monitor == m) return &f;
+    }
+    return nullptr;
+  }
+
+  bool frame_active(std::uint64_t id) const {
+    for (const Frame& f : frames) {
+      if (f.id == id) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace rvk::core

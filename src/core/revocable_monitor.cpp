@@ -1,0 +1,74 @@
+#include "core/revocable_monitor.hpp"
+
+#include <algorithm>
+
+#include "core/engine.hpp"
+
+namespace rvk::core {
+
+RevocableMonitor::RevocableMonitor(std::string name, Engine& engine)
+    : monitor::MonitorBase(std::move(name)), engine_(engine) {
+  engine_.monitors_.push_back(this);
+}
+
+RevocableMonitor::~RevocableMonitor() {
+  auto& v = engine_.monitors_;
+  v.erase(std::remove(v.begin(), v.end(), this), v.end());
+}
+
+void RevocableMonitor::acquire() {
+  rt::Scheduler* sched = rt::current_scheduler();
+  RVK_CHECK_MSG(sched != nullptr, "monitor used outside a running scheduler");
+  rt::VThread* t = sched->current_thread();
+  ++stats_.acquires;
+  if (owner_ == t) {
+    ++recursion_;
+    return;
+  }
+  bool contended = false;
+  for (;;) {
+    if (t->revoke_requested) [[unlikely]] {
+      // We may hold this monitor's rollback reservation; surrender it before
+      // unwinding or the monitor would stay reserved for a thread that will
+      // not come back for it.  Pass the reservation on to the next waiter.
+      if (reserved_ == t) {
+        reserved_ = nullptr;
+        handoff(/*reserve=*/true);
+      }
+      sched->check_revocation();  // throws unless the request became invalid
+    }
+    if (try_take(t)) break;
+    if (!contended) {
+      contended = true;
+      ++stats_.contended;
+    }
+    // §4: the contending side — inversion/deadlock detection; may post a
+    // revocation against the owner, or against *us* (deadlock victim).
+    engine_.on_contended_acquire(t, *this);
+    if (t->revoke_requested) [[unlikely]] {
+      sched->check_revocation();
+    }
+    on_block(t);
+    sched->block_current_on(entry_queue_);
+    on_wake(t);
+  }
+  on_acquired(t);
+}
+
+void RevocableMonitor::on_block(rt::VThread* t) {
+  engine_.on_blocked(t, *this);
+}
+
+void RevocableMonitor::on_wake(rt::VThread* t) {
+  engine_.on_unblocked(t, *this);
+}
+
+void RevocableMonitor::on_acquired(rt::VThread*) {}
+
+void RevocableMonitor::on_released(rt::VThread*) {}
+
+void RevocableMonitor::on_wait_release(rt::VThread* t) {
+  engine_.on_wait_pin(t);
+}
+
+}  // namespace rvk::core

@@ -1,0 +1,48 @@
+// The revocable monitor: MonitorBase mechanics plus the preemption protocol.
+//
+// Paper §4: "A thread acquiring a monitor deposits its priority in the
+// header of the monitor object. Before another thread can attempt
+// acquisition of the same monitor, it checks whether its own priority is
+// higher than the priority of the thread currently executing within the
+// synchronized section. If it is, the scheduler initiates a context-switch
+// and triggers rollback of the low priority thread at the next yield point."
+//
+// acquire() implements the contending side of that protocol by delegating
+// the decision to the engine (priority-inversion detection, deadlock
+// detection, revocation posting) and implements the victim side's delivery
+// obligations: every wakeup from the entry queue re-checks for a pending
+// revocation targeting one of the *caller's* enclosing frames, repairing the
+// monitor's handoff reservation before unwinding.
+#pragma once
+
+#include <string>
+
+#include "monitor/monitor.hpp"
+
+namespace rvk::core {
+
+class Engine;
+
+class RevocableMonitor final : public monitor::MonitorBase {
+ public:
+  // Monitors register with their engine for background inversion sweeps; the
+  // engine must outlive the monitor.
+  RevocableMonitor(std::string name, Engine& engine);
+  ~RevocableMonitor() override;
+
+  void acquire() override;
+
+  Engine& engine() const { return engine_; }
+
+ protected:
+  void on_block(rt::VThread* t) override;      // waits-for edge for deadlock
+  void on_wake(rt::VThread* t) override;
+  void on_acquired(rt::VThread* t) override;
+  void on_released(rt::VThread* t) override;
+  void on_wait_release(rt::VThread* t) override;  // wait() pins frames (§2.2)
+
+ private:
+  Engine& engine_;
+};
+
+}  // namespace rvk::core

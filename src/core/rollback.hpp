@@ -1,0 +1,75 @@
+// The rollback exception and revocation-aware cleanup guard.
+//
+// Paper §3.1.1: "Each synchronized section … is wrapped within an exception
+// scope that catches a special type of rollback exception. The rollback
+// exception is thrown internally by the VM … each rollback exception catch
+// handler invokes an internal VM method to check if it corresponds to the
+// synchronized section that is to be re-executed" — RollbackException carries
+// that correspondence as the id of the target frame.
+//
+// §3.1.2: the modified VM's "augmented exception handling routine ignores
+// all handlers (including finally blocks) that do not explicitly catch the
+// rollback exception".  C++ gives us most of that for free by making
+// RollbackException NOT derive from std::exception: idiomatic user handlers
+// (`catch (const std::exception&)`) never intercept it.  `catch (...)` and
+// destructors still run — the C++ analogue of finally is RAII — so code that
+// must cooperate uses rvk::core::Cleanup, whose action is suppressed while
+// the owning thread is unwinding a revocation, reproducing the "aborted
+// synchronized block produces no side-effects" semantics.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "rt/scheduler.hpp"
+
+namespace rvk::core {
+
+// Thrown by the engine at a yield point (or blocking-acquire wakeup) of a
+// thread whose synchronized section is being revoked.  Internal to the
+// runtime: user code must never swallow it (rethrow from `catch (...)`).
+class RollbackException {
+ public:
+  RollbackException(std::uint64_t target_frame, bool deadlock_victim)
+      : target_frame_(target_frame), deadlock_victim_(deadlock_victim) {}
+
+  // Frame id of the synchronized section that must restart; inner sections
+  // unwound along the way abort-and-release without retrying.
+  std::uint64_t target_frame() const { return target_frame_; }
+
+  // True when the revocation broke a deadlock cycle.  A deadlock victim
+  // backs off before retrying: if it outranks the thread the monitor was
+  // handed to, an immediate retry could steal the handoff reservation back
+  // and re-form the cycle forever (the livelock the paper warns about).
+  bool deadlock_victim() const { return deadlock_victim_; }
+
+ private:
+  std::uint64_t target_frame_;
+  bool deadlock_victim_;
+};
+
+// A "finally" block that honours revocation semantics: the action runs on
+// normal scope exit and on ordinary exceptions, but is skipped while the
+// current thread is rolling back a revoked section.
+template <typename F>
+class Cleanup {
+ public:
+  explicit Cleanup(F action) : action_(std::move(action)) {}
+
+  Cleanup(const Cleanup&) = delete;
+  Cleanup& operator=(const Cleanup&) = delete;
+
+  ~Cleanup() {
+    rt::VThread* t = rt::current_vthread();
+    if (t != nullptr && t->in_rollback) return;  // revocation: no side effects
+    action_();
+  }
+
+ private:
+  F action_;
+};
+
+template <typename F>
+Cleanup(F) -> Cleanup<F>;
+
+}  // namespace rvk::core

@@ -1,0 +1,116 @@
+#include "harness/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rvk::harness {
+
+namespace {
+
+double series_value(const SeriesPoint& s, bool ticks) {
+  return ticks ? s.ticks.mean : s.wall.mean;
+}
+
+}  // namespace
+
+void plot_panel(const PanelResult& panel, const PlotOptions& opts,
+                std::ostream& os) {
+  if (panel.points.empty()) return;
+  const int w = std::max(opts.width, 21);
+  const int h = std::max(opts.height, 6);
+
+  // Y range: 0 .. a little above the max of both series.
+  double ymax = 0.0;
+  for (const PointResult& pt : panel.points) {
+    ymax = std::max(ymax, series_value(pt.modified, opts.use_ticks));
+    ymax = std::max(ymax, series_value(pt.unmodified, opts.use_ticks));
+  }
+  ymax = std::max(ymax * 1.15, 0.1);
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+
+  const int x_lo = panel.points.front().write_pct;
+  const int x_hi = panel.points.back().write_pct;
+  const double x_span = std::max(1, x_hi - x_lo);
+
+  auto col_of = [&](int write_pct) {
+    return static_cast<int>(
+        std::lround((write_pct - x_lo) / x_span * (w - 1)));
+  };
+  auto row_of = [&](double y) {
+    int r = static_cast<int>(std::lround((1.0 - y / ymax) * (h - 1)));
+    return std::clamp(r, 0, h - 1);
+  };
+
+  // Reference line at y = 1.0 (the normalization baseline).
+  {
+    const int r = row_of(1.0);
+    for (int c = 0; c < w; ++c) {
+      grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = '.';
+    }
+  }
+
+  // Connect consecutive points with interpolated marks, then overwrite the
+  // sample positions with the series letter.
+  auto draw_series = [&](char mark, bool modified) {
+    for (std::size_t i = 0; i + 1 < panel.points.size(); ++i) {
+      const PointResult& p0 = panel.points[i];
+      const PointResult& p1 = panel.points[i + 1];
+      const double y0 = series_value(modified ? p0.modified : p0.unmodified,
+                                     opts.use_ticks);
+      const double y1 = series_value(modified ? p1.modified : p1.unmodified,
+                                     opts.use_ticks);
+      const int c0 = col_of(p0.write_pct), c1 = col_of(p1.write_pct);
+      for (int c = c0; c <= c1; ++c) {
+        const double t = c1 == c0 ? 0.0 : double(c - c0) / (c1 - c0);
+        const int r = row_of(y0 + (y1 - y0) * t);
+        char& cell = grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+        if (cell == ' ' || cell == '.') cell = (mark == 'M') ? '-' : '~';
+      }
+    }
+    for (const PointResult& pt : panel.points) {
+      const double y = series_value(modified ? pt.modified : pt.unmodified,
+                                    opts.use_ticks);
+      grid[static_cast<std::size_t>(row_of(y))]
+          [static_cast<std::size_t>(col_of(pt.write_pct))] = mark;
+    }
+  };
+  draw_series('u', /*modified=*/false);
+  draw_series('M', /*modified=*/true);
+
+  os << "  " << panel.spec.high_threads << " high + " << panel.spec.low_threads
+     << " low   (normalized " << (opts.use_ticks ? "ticks" : "wall")
+     << "; M = modified, u = unmodified, '.' = 1.0)\n";
+  for (int r = 0; r < h; ++r) {
+    // Left axis label at the top, the 1.0 line, and the bottom.
+    std::string label = "      ";
+    if (r == 0) {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "%5.2f ", ymax);
+      label = buf;
+    } else if (r == h - 1) {
+      label = " 0.00 ";
+    }
+    os << label << '|' << grid[static_cast<std::size_t>(r)] << "|\n";
+  }
+  os << "      +" << std::string(static_cast<std::size_t>(w), '-') << "+\n";
+  os << "       " << x_lo << "% writes" << std::string(20, ' ')
+     << "..." << std::string(20, ' ') << x_hi << "% writes\n";
+}
+
+void plot_figure(const FigureResult& fig, const PlotOptions& opts,
+                 std::ostream& os) {
+  const char* letters = "abc";
+  os << "---- " << fig.spec.title << " ----\n";
+  for (std::size_t i = 0; i < fig.panels.size(); ++i) {
+    os << "(" << letters[i % 3] << ")\n";
+    plot_panel(fig.panels[i], opts, os);
+  }
+}
+
+}  // namespace rvk::harness

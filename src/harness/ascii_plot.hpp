@@ -1,0 +1,26 @@
+// ASCII rendering of figure panels — the terminal version of the paper's
+// plots: write ratio on the x-axis, normalized elapsed time on the y-axis,
+// MODIFIED ('M') vs UNMODIFIED ('u') series.
+#pragma once
+
+#include <iosfwd>
+
+#include "harness/figures.hpp"
+
+namespace rvk::harness {
+
+struct PlotOptions {
+  int width = 61;   // plot area columns
+  int height = 16;  // plot area rows
+  bool use_ticks = true;  // plot the tick series (false: wall series)
+};
+
+// Renders one panel as an ASCII chart.
+void plot_panel(const PanelResult& panel, const PlotOptions& opts,
+                std::ostream& os);
+
+// Renders every panel of a figure (labelled (a), (b), (c) like the paper).
+void plot_figure(const FigureResult& fig, const PlotOptions& opts,
+                 std::ostream& os);
+
+}  // namespace rvk::harness

@@ -1,0 +1,56 @@
+#include "harness/env.hpp"
+
+#include <cstdlib>
+
+namespace rvk::harness {
+
+namespace {
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+}  // namespace
+
+void apply_env(FigureSpec& spec, std::uint64_t paper_high_iters) {
+  constexpr std::uint64_t kPaperLowIters = 500'000;
+  constexpr int kPaperSections = 100;
+
+  if (env_flag("RVK_PAPER")) {
+    spec.base.sections_per_thread = kPaperSections;
+    spec.base.low_iters = kPaperLowIters;
+    spec.high_iters = paper_high_iters;
+    spec.reps = 5;
+  }
+  spec.reps = static_cast<int>(env_u64("RVK_REPS",
+                                       static_cast<std::uint64_t>(spec.reps)));
+  if (spec.reps < 1) spec.reps = 1;  // malformed/zero RVK_REPS
+  spec.base.sections_per_thread = static_cast<int>(env_u64(
+      "RVK_SECTIONS",
+      static_cast<std::uint64_t>(spec.base.sections_per_thread)));
+  const std::uint64_t low =
+      env_u64("RVK_LOW_ITERS", spec.base.low_iters);
+  if (low != spec.base.low_iters) {
+    // Preserve the paper's high:low iteration ratio under rescaling.
+    spec.high_iters = spec.high_iters * low / spec.base.low_iters;
+    spec.base.low_iters = low;
+  }
+  // The timing regime scales with the workload (see WorkloadParams): the
+  // quantum spans one low-priority section and the mean pre-entry pause is
+  // 1.5 quanta, mirroring the paper's timeslice/section/pause ratios.
+  spec.base.scheduler_quantum = static_cast<int>(spec.base.low_iters);
+  spec.base.avg_pause_ticks = spec.base.low_iters * 3 / 2;
+  spec.base.seed = env_u64("RVK_SEED", spec.base.seed);
+}
+
+std::string csv_dir() {
+  const char* v = std::getenv("RVK_CSV");
+  return v != nullptr ? std::string(v) : std::string();
+}
+
+}  // namespace rvk::harness

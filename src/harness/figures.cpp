@@ -1,0 +1,238 @@
+#include "harness/figures.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace rvk::harness {
+
+namespace {
+
+struct RawSamples {
+  std::vector<double> wall;   // seconds
+  std::vector<double> ticks;  // virtual ticks
+};
+
+// Runs one configuration reps+1 times (first discarded) and returns the raw
+// elapsed samples on both clocks.
+RawSamples run_samples(VmKind vm, const WorkloadParams& p, bool overall,
+                       int reps, core::EngineStats* last_engine) {
+  RawSamples out;
+  out.wall.reserve(static_cast<std::size_t>(reps));
+  out.ticks.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i <= reps; ++i) {
+    WorkloadParams rp = p;
+    rp.seed = p.seed + static_cast<std::uint64_t>(i) * 0x1234567ULL;
+    WorkloadResult r = run_workload(vm, rp);
+    if (i == 0) continue;  // warm-up, discarded (§4.1)
+    out.wall.push_back(overall ? r.overall_elapsed_s : r.high_elapsed_s);
+    out.ticks.push_back(static_cast<double>(
+        overall ? r.overall_elapsed_ticks : r.high_elapsed_ticks));
+    if (last_engine != nullptr) *last_engine = r.engine;
+  }
+  return out;
+}
+
+std::vector<double> normalize(const std::vector<double>& samples,
+                              double baseline) {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (double s : samples) out.push_back(s / baseline);
+  return out;
+}
+
+SeriesPoint make_series(const RawSamples& raw, double baseline_ticks,
+                        double baseline_wall) {
+  SeriesPoint s;
+  s.ticks = summarize(normalize(raw.ticks, baseline_ticks));
+  s.wall = summarize(normalize(raw.wall, baseline_wall));
+  s.raw_ticks_mean = summarize(raw.ticks).mean;
+  s.raw_wall_mean = summarize(raw.wall).mean;
+  return s;
+}
+
+}  // namespace
+
+FigureResult run_figure(const FigureSpec& spec, std::ostream* progress) {
+  FigureResult fig;
+  fig.spec = spec;
+
+  // Warm the process once (allocators, CPU frequency) before anything that
+  // will be used as a normalizer is measured.
+  {
+    WorkloadParams warm = spec.base;
+    warm.high_threads = spec.panels.front().high_threads;
+    warm.low_threads = spec.panels.front().low_threads;
+    warm.high_iters = spec.high_iters;
+    (void)run_workload(VmKind::kUnmodified, warm);
+  }
+
+  for (const PanelSpec& panel : spec.panels) {
+    PanelResult pr;
+    pr.spec = panel;
+
+    WorkloadParams base = spec.base;
+    base.high_threads = panel.high_threads;
+    base.low_threads = panel.low_threads;
+    base.high_iters = spec.high_iters;
+
+    // Collect raw samples for every point first; the normalizer (§4.2:
+    // "normalized with respect to the configuration executing 100% reads
+    // on an unmodified VM") is the unmodified 0%-writes point itself, so
+    // it shares the measurement conditions of the rest of the sweep.
+    struct RawPoint {
+      int write_pct;
+      RawSamples unmod, mod;
+      core::EngineStats engine;
+    };
+    std::vector<RawPoint> raws;
+    for (int wp : spec.write_percents) {
+      WorkloadParams p = base;
+      p.write_percent = static_cast<unsigned>(wp);
+      RawPoint rp;
+      rp.write_pct = wp;
+      rp.unmod = run_samples(VmKind::kUnmodified, p, spec.overall, spec.reps,
+                             nullptr);
+      rp.mod = run_samples(VmKind::kModified, p, spec.overall, spec.reps,
+                           &rp.engine);
+      raws.push_back(std::move(rp));
+      if (progress != nullptr) {
+        *progress << spec.id << " [" << panel.high_threads << "hi+"
+                  << panel.low_threads << "lo] " << std::setw(3) << wp
+                  << "% writes measured\n";
+        progress->flush();
+      }
+    }
+
+    const RawPoint* zero = nullptr;
+    for (const RawPoint& rp : raws) {
+      if (rp.write_pct == 0) zero = &rp;
+    }
+    if (zero == nullptr) zero = &raws.front();  // custom sweeps without 0%
+    pr.baseline_ticks = summarize(zero->unmod.ticks).mean;
+    pr.baseline_wall = summarize(zero->unmod.wall).mean;
+    RVK_CHECK_MSG(pr.baseline_ticks > 0.0 && pr.baseline_wall > 0.0,
+                  "degenerate baseline elapsed time");
+
+    for (const RawPoint& rp : raws) {
+      PointResult point;
+      point.write_pct = rp.write_pct;
+      point.engine = rp.engine;
+      point.unmodified =
+          make_series(rp.unmod, pr.baseline_ticks, pr.baseline_wall);
+      point.modified =
+          make_series(rp.mod, pr.baseline_ticks, pr.baseline_wall);
+      pr.points.push_back(point);
+    }
+    fig.panels.push_back(std::move(pr));
+  }
+  return fig;
+}
+
+void print_figure(const FigureResult& fig, std::ostream& os) {
+  os << "==== " << fig.spec.title << " (" << fig.spec.id << ") ====\n";
+  os << "  elapsed " << (fig.spec.overall ? "overall" : "high-priority")
+     << " time, normalized to UNMODIFIED @ 0% writes; mean of "
+     << fig.spec.reps
+     << " reps, +/- = 90% CI half-width\n"
+     << "  primary series: virtual ticks (scheduling); secondary: wall "
+        "seconds (adds logging costs)\n";
+  const char* panel_letter = "abc";
+  for (std::size_t i = 0; i < fig.panels.size(); ++i) {
+    const PanelResult& p = fig.panels[i];
+    os << "  (" << panel_letter[i % 3] << ") " << p.spec.high_threads
+       << " high-priority, " << p.spec.low_threads
+       << " low-priority   [baselines: " << std::fixed << std::setprecision(0)
+       << p.baseline_ticks << " ticks, " << std::setprecision(4)
+       << p.baseline_wall << " s]\n";
+    os << "      write%  UNMOD(ticks)     MOD(ticks)       "
+       << (fig.spec.overall ? " ovh%" : "gain%")
+       << "   UNMOD(wall)      MOD(wall)\n";
+    for (const PointResult& pt : p.points) {
+      // Figures 5/6 report the modified VM's speedup of the high-priority
+      // group; Figures 7/8 report its overall slowdown.
+      const double gain =
+          fig.spec.overall
+              ? (pt.modified.ticks.mean / pt.unmodified.ticks.mean - 1.0) *
+                    100.0
+              : (pt.unmodified.ticks.mean / pt.modified.ticks.mean - 1.0) *
+                    100.0;
+      os << "      " << std::setw(5) << pt.write_pct << "  " << std::fixed
+         << std::setprecision(3) << std::setw(5) << pt.unmodified.ticks.mean
+         << " +/- " << std::setw(5) << pt.unmodified.ticks.ci90_half << "  "
+         << std::setw(5) << pt.modified.ticks.mean << " +/- " << std::setw(5)
+         << pt.modified.ticks.ci90_half << "  " << std::setprecision(1)
+         << std::setw(6) << gain << "   " << std::setprecision(3)
+         << std::setw(5) << pt.unmodified.wall.mean << " +/- " << std::setw(5)
+         << pt.unmodified.wall.ci90_half << "  " << std::setw(5)
+         << pt.modified.wall.mean << " +/- " << std::setw(5)
+         << pt.modified.wall.ci90_half << "\n";
+    }
+  }
+  if (fig.spec.overall) {
+    os << "  average modified-VM wall overhead: " << std::setprecision(1)
+       << average_overhead_percent(fig) << "% (paper: ~30%)\n";
+  } else {
+    os << "  average high-priority tick gain (all panels): "
+       << std::setprecision(1) << average_gain_percent(fig, false)
+       << "%  |  excluding panels with more high than low threads: "
+       << average_gain_percent(fig, true) << "% (paper: 78% / ~100%)\n";
+  }
+}
+
+bool write_csv(const FigureResult& fig, const std::string& path) {
+  std::ofstream f(path);
+  if (!f.good()) return false;
+  f << "figure,high_threads,low_threads,write_pct,series,"
+       "norm_ticks_mean,norm_ticks_ci90,norm_wall_mean,norm_wall_ci90,"
+       "raw_ticks,raw_seconds\n";
+  auto row = [&](const PanelResult& p, const PointResult& pt,
+                 const char* name, const SeriesPoint& s) {
+    f << fig.spec.id << ',' << p.spec.high_threads << ','
+      << p.spec.low_threads << ',' << pt.write_pct << ',' << name << ','
+      << s.ticks.mean << ',' << s.ticks.ci90_half << ',' << s.wall.mean
+      << ',' << s.wall.ci90_half << ',' << s.raw_ticks_mean << ','
+      << s.raw_wall_mean << "\n";
+  };
+  for (const PanelResult& p : fig.panels) {
+    for (const PointResult& pt : p.points) {
+      row(p, pt, "unmodified", pt.unmodified);
+      row(p, pt, "modified", pt.modified);
+    }
+  }
+  return f.good();
+}
+
+double average_gain_percent(const FigureResult& fig,
+                            bool exclude_more_high_than_low) {
+  double sum = 0.0;
+  int n = 0;
+  for (const PanelResult& p : fig.panels) {
+    if (exclude_more_high_than_low &&
+        p.spec.high_threads > p.spec.low_threads) {
+      continue;
+    }
+    for (const PointResult& pt : p.points) {
+      sum += (pt.unmodified.ticks.mean / pt.modified.ticks.mean - 1.0) * 100.0;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+double average_overhead_percent(const FigureResult& fig) {
+  double sum = 0.0;
+  int n = 0;
+  for (const PanelResult& p : fig.panels) {
+    for (const PointResult& pt : p.points) {
+      sum += (pt.modified.wall.mean / pt.unmodified.wall.mean - 1.0) * 100.0;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+}  // namespace rvk::harness

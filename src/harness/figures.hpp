@@ -1,0 +1,105 @@
+// Figure runner: regenerates the paper's evaluation figures (§4.2).
+//
+// Each of Figures 5–8 is a three-panel plot over thread mixes (2 hi + 8 lo,
+// 5 hi + 5 lo, 8 hi + 2 lo), sweeping the write ratio {0,20,40,60,80,100}%
+// with two series, MODIFIED and UNMODIFIED, normalized to the unmodified
+// VM at 100% reads.  Figures 5/6 plot high-priority elapsed time at 100K /
+// 500K high-priority inner iterations; Figures 7/8 plot overall elapsed
+// time for the same runs.
+//
+// Two clocks are reported for every point:
+//  * virtual ticks (one tick = one inner-loop operation = one yield point)
+//    — the scheduling behaviour: lock waiting, preemption, re-execution.
+//    Deterministic per seed; this is the primary series for the paper's
+//    headline claims (who wins, where the benefit diminishes).
+//  * wall-clock seconds — adds the per-operation costs ticks cannot see:
+//    write-barrier logging, undo-log memory traffic, dependency marks.
+//    This is where the paper's secondary observations live (overhead
+//    growing with write ratio; logging outweighing the benefit at 100%
+//    writes).  At scaled-down section lengths the wall numbers understate
+//    the scheduling benefit relative to the paper — see EXPERIMENTS.md.
+//
+// Methodology follows §4.1: each configuration runs reps+1 times, the first
+// (warm-up) iteration is discarded, and the mean with a 90% confidence
+// interval over the remaining reps is reported.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "harness/workload.hpp"
+
+namespace rvk::harness {
+
+struct PanelSpec {
+  int high_threads;
+  int low_threads;
+};
+
+struct FigureSpec {
+  std::string id;     // e.g. "fig5"
+  std::string title;  // e.g. "Total time for high-priority threads, 100K"
+  std::uint64_t high_iters = 4'000;
+  bool overall = false;  // false: high-priority group elapsed (Figs 5/6);
+                         // true: all-threads elapsed (Figs 7/8)
+  std::vector<int> write_percents = {0, 20, 40, 60, 80, 100};
+  std::vector<PanelSpec> panels = {{2, 8}, {5, 5}, {8, 2}};
+  int reps = 3;           // measured repetitions (paper: 5), plus 1 warm-up
+  WorkloadParams base;    // sections/low_iters/seed/engine configuration
+};
+
+// One measured series (modified or unmodified VM) at one point, on both
+// clocks, normalized to the panel baseline.
+struct SeriesPoint {
+  Summary ticks;   // normalized virtual-tick elapsed
+  Summary wall;    // normalized wall-clock elapsed
+  double raw_ticks_mean = 0.0;
+  double raw_wall_mean = 0.0;
+};
+
+struct PointResult {
+  int write_pct;
+  SeriesPoint modified;
+  SeriesPoint unmodified;
+  core::EngineStats engine;  // stats of the last modified rep at this point
+};
+
+struct PanelResult {
+  PanelSpec spec;
+  double baseline_ticks = 0.0;  // unmodified @ 0% writes (normalizers)
+  double baseline_wall = 0.0;
+  std::vector<PointResult> points;
+};
+
+struct FigureResult {
+  FigureSpec spec;
+  std::vector<PanelResult> panels;
+};
+
+// Runs the whole figure.  If `progress` is non-null, one line per completed
+// configuration is written to it.
+FigureResult run_figure(const FigureSpec& spec, std::ostream* progress);
+
+// Pretty-prints the figure as per-panel tables plus the paper's summary
+// statistics (average high-priority gain, average overall overhead).
+void print_figure(const FigureResult& fig, std::ostream& os);
+
+// Writes one CSV row per (panel, write%, series) to `path`.  Returns false
+// if the file could not be created/written.
+bool write_csv(const FigureResult& fig, const std::string& path);
+
+// Mean percentage gain of the modified VM over the unmodified VM on the
+// tick clock across all points ((unmod/mod − 1)·100).
+// `exclude_more_high_than_low` drops panels with more high- than
+// low-priority threads, matching the paper's "if we discard the
+// configuration where there are eight high-priority threads…".
+double average_gain_percent(const FigureResult& fig,
+                            bool exclude_more_high_than_low);
+
+// Mean wall-clock overhead of the modified VM ((mod/unmod − 1)·100) — the
+// §4.2 "on average 30% higher on the modified VM" number for Figures 7/8.
+double average_overhead_percent(const FigureResult& fig);
+
+}  // namespace rvk::harness

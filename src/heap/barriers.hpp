@@ -1,0 +1,130 @@
+// Read/write barriers over the managed heap.
+//
+// Paper §1.1: "The compiler inserts code at synchronization points …
+// injecting write barriers to log updates to shared state performed by
+// threads active in synchronized sections … all compiled code needs at least
+// a fast-path test on every non-local update to check if the thread is
+// executing within a synchronized section, with the slow path logging the
+// update if it is."
+//
+// In this reproduction the "compiled code" is the accessor layer of heap/:
+// every store to a HeapObject slot, HeapArray element, static variable or
+// VolatileVar funnels through write_barrier(), whose fast path is exactly
+// the paper's test (`sync_depth > 0` on the current green thread).  Read
+// barriers serve the JMM-consistency guard of §2.2: each object carries a
+// small writer mark (who last stored to it speculatively); a read that
+// observes a foreign mark escalates to the engine hook, which pins the
+// writer's enclosing monitors as non-revocable.
+#pragma once
+
+#include <cstdint>
+
+#include "log/undo_log.hpp"
+#include "rt/scheduler.hpp"
+
+namespace rvk::heap {
+
+using Word = log::Word;
+
+// Per-object speculative-writer mark.  Granularity is per object (not per
+// slot): the paper does not specify its granularity, and per-object is the
+// classic Jikes-style header-word choice.  A mark is *advisory*: it may be
+// stale (the writing section already committed or aborted), in which case the
+// engine hook validates it against the writer's section epoch and clears it.
+struct ObjectMeta {
+  std::uint32_t writer_tid = 0;    // 0 = no speculative writer recorded
+  std::uint32_t writer_epoch = 0;  // writer's section_epoch at store time
+  std::uint64_t writer_frame = 0;  // writer's innermost frame at store time
+
+  void clear() {
+    writer_tid = 0;
+    writer_epoch = 0;
+    writer_frame = 0;
+  }
+};
+
+// Access descriptor passed to the (test-only) trace hook; jmm/'s execution
+// recorder uses it to validate JMM consistency of whole runs.
+struct TraceAccess {
+  enum class Kind : std::uint8_t { kRead, kWrite, kVolatileRead, kVolatileWrite };
+  Kind kind;
+  const void* base;
+  std::uint32_t offset;
+  Word value;      // value read, or new value written
+  Word old_value;  // previous value (writes only)
+};
+
+namespace detail {
+// Dependency tracking on/off (the jmm/ guard; engine-controlled, ablatable).
+extern bool g_track_dependencies;
+// Undo-log deduplication on/off (engine-controlled extension).
+extern bool g_dedup_logging;
+// Engine hook invoked when a read observes a (possibly stale) writer mark.
+// May clear the mark; must not block.
+extern void (*g_tracked_read_hook)(ObjectMeta& meta, const void* base);
+// Engine hook for volatile stores inside synchronized sections (used only by
+// the conservative volatile policy; see core::EngineConfig).
+extern void (*g_volatile_write_hook)(const void* var);
+// Execution-trace hook (jmm/ recorder); nullptr outside tests.
+extern void (*g_trace_access)(const TraceAccess&);
+}  // namespace detail
+
+// Installs the execution-trace hook (nullptr to uninstall).
+void set_trace_hook(void (*hook)(const TraceAccess&));
+
+inline void trace_access(TraceAccess::Kind kind, const void* base,
+                         std::uint32_t offset, Word value, Word old_value) {
+  if (detail::g_trace_access != nullptr) [[unlikely]] {
+    detail::g_trace_access(TraceAccess{kind, base, offset, value, old_value});
+  }
+}
+
+// Enables/disables writer-mark maintenance (set by the engine when the JMM
+// guard is toggled).
+void set_dependency_tracking(bool on);
+bool dependency_tracking();
+
+// Enables/disables undo-log deduplication (EngineConfig::dedup_logging).
+void set_dedup_logging(bool on);
+bool dedup_logging();
+
+// Installs the engine hooks (nullptr to uninstall).
+void set_tracked_read_hook(void (*hook)(ObjectMeta&, const void*));
+void set_volatile_write_hook(void (*hook)(const void*));
+
+// The write barrier.  `addr` is the slot being stored to; `base`/`offset`
+// identify it in paper terms (reference + offset).  Returns the thread if
+// the slow path ran (useful to callers that need follow-up work).
+inline void write_barrier(log::EntryKind kind, ObjectMeta& meta, Word* addr,
+                          const void* base, std::uint32_t offset) {
+  rt::VThread* t = rt::current_vthread();
+  if (t == nullptr || t->sync_depth == 0) return;  // fast path: not in a section
+  if (!detail::g_dedup_logging ||
+      t->dedup.should_log(addr, t->current_frame_id)) {
+    t->undo_log.record(kind, addr, *addr, base, offset);
+  }
+  if (detail::g_track_dependencies) {
+    meta.writer_tid = t->id();
+    meta.writer_epoch = t->section_epoch;
+    meta.writer_frame = t->current_frame_id;
+  }
+}
+
+// The read barrier.  Fast path: one load and compare against zero.  A
+// marked object most often belongs to the *reading* thread's own live
+// section (it re-reads its own speculation), which is filtered inline
+// before escalating to the engine hook.
+inline void read_barrier(ObjectMeta& meta, const void* base) {
+  if (meta.writer_tid != 0) [[unlikely]] {
+    rt::VThread* t = rt::current_vthread();
+    if (t != nullptr && meta.writer_tid == t->id() &&
+        meta.writer_epoch == t->section_epoch && t->sync_depth > 0) {
+      return;  // own live speculation: no dependency, mark stays
+    }
+    if (detail::g_tracked_read_hook != nullptr) {
+      detail::g_tracked_read_hook(meta, base);
+    }
+  }
+}
+
+}  // namespace rvk::heap

@@ -1,0 +1,178 @@
+#include "jmm/checker.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace rvk::jmm {
+
+namespace {
+
+// A speculative (in-section, not yet committed) write awaiting commit/undo.
+struct SpecWrite {
+  std::uint32_t tid;
+  std::uint64_t value;      // value it stored
+  std::uint64_t pre_value;  // shadow value before the store
+  std::size_t event_index;
+  bool foreign_read = false;          // another thread observed `value`
+  std::size_t foreign_read_index = 0; // first such read
+};
+
+struct LocState {
+  bool known = false;
+  std::uint64_t shadow = 0;
+  std::vector<SpecWrite> spec;  // stack: oldest first
+};
+
+std::string loc_str(const Loc& l) {
+  std::ostringstream os;
+  os << l.base << "+" << l.offset;
+  return os.str();
+}
+
+}  // namespace
+
+std::string CheckResult::report(std::size_t max) const {
+  std::ostringstream os;
+  os << violations.size() << " violation(s); " << reads_checked
+     << " reads, " << writes_seen << " writes, " << undos_seen
+     << " undos checked\n";
+  for (std::size_t i = 0; i < violations.size() && i < max; ++i) {
+    const Violation& v = violations[i];
+    const char* kind = v.kind == Violation::Kind::kThinAirRead
+                           ? "thin-air-read"
+                       : v.kind == Violation::Kind::kShadowMismatch
+                           ? "shadow-mismatch"
+                           : "undo-mismatch";
+    os << "  [" << kind << "] at event " << v.event_index << ": " << v.detail
+       << "\n";
+  }
+  return os.str();
+}
+
+CheckResult check_consistency(const std::vector<Event>& events) {
+  CheckResult result;
+  std::unordered_map<Loc, LocState, LocHash> locs;
+
+  auto violate = [&result](Violation::Kind k, std::size_t idx,
+                           std::string detail) {
+    result.violations.push_back(Violation{k, idx, std::move(detail)});
+  };
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    switch (e.kind) {
+      case EventKind::kWrite:
+      case EventKind::kVolatileWrite: {
+        ++result.writes_seen;
+        LocState& st = locs[e.loc];
+        if (st.known && e.old_value != st.shadow) {
+          violate(Violation::Kind::kShadowMismatch, i,
+                  "write at " + loc_str(e.loc) + " recorded old value " +
+                      std::to_string(e.old_value) + " but shadow is " +
+                      std::to_string(st.shadow));
+        }
+        const std::uint64_t pre = st.known ? st.shadow : e.old_value;
+        st.known = true;
+        st.shadow = e.value;
+        if (e.frame != 0) {  // speculative: performed inside a section
+          st.spec.push_back(SpecWrite{e.tid, e.value, pre, i, false, 0});
+        }
+        break;
+      }
+
+      case EventKind::kRead:
+      case EventKind::kVolatileRead: {
+        ++result.reads_checked;
+        LocState& st = locs[e.loc];
+        if (!st.known) {
+          st.known = true;
+          st.shadow = e.value;
+          break;
+        }
+        if (e.value != st.shadow) {
+          violate(Violation::Kind::kShadowMismatch, i,
+                  "read at " + loc_str(e.loc) + " returned " +
+                      std::to_string(e.value) + " but shadow is " +
+                      std::to_string(st.shadow));
+          break;
+        }
+        if (!st.spec.empty()) {
+          SpecWrite& top = st.spec.back();
+          if (top.value == e.value && top.tid != e.tid && !top.foreign_read) {
+            top.foreign_read = true;
+            top.foreign_read_index = i;
+          }
+        }
+        break;
+      }
+
+      case EventKind::kUndo: {
+        ++result.undos_seen;
+        LocState& st = locs[e.loc];
+        // Undos arrive in reverse write order per thread.  With undo-log
+        // deduplication a single undo can stand for a *run* of writes by
+        // the same thread (only the first was logged): pop through the
+        // thread's youngest writes until one's pre-write value matches the
+        // restored value.  Any popped write that a foreign thread observed
+        // is out-of-thin-air either way.
+        bool matched = false;
+        std::vector<SpecWrite> popped;
+        while (!matched) {
+          std::size_t idx = st.spec.size();
+          for (std::size_t j = st.spec.size(); j > 0; --j) {
+            if (st.spec[j - 1].tid == e.tid) {
+              idx = j - 1;
+              break;
+            }
+          }
+          if (idx == st.spec.size()) break;  // no more writes by this thread
+          SpecWrite w = st.spec[idx];
+          st.spec.erase(st.spec.begin() + static_cast<std::ptrdiff_t>(idx));
+          popped.push_back(w);
+          matched = (w.pre_value == e.value);
+        }
+        if (!matched) {
+          violate(Violation::Kind::kUndoMismatch, i,
+                  "undo at " + loc_str(e.loc) + " by thread " +
+                      std::to_string(e.tid) + " restored " +
+                      std::to_string(e.value) +
+                      " with no matching speculative write");
+        }
+        for (const SpecWrite& w : popped) {
+          if (w.foreign_read) {
+            violate(Violation::Kind::kThinAirRead, w.foreign_read_index,
+                    "thread read speculative value " +
+                        std::to_string(w.value) + " at " + loc_str(e.loc) +
+                        " which was later undone (write event " +
+                        std::to_string(w.event_index) + ", undo event " +
+                        std::to_string(i) + ")");
+          }
+        }
+        st.shadow = e.value;
+        st.known = true;
+        break;
+      }
+
+      case EventKind::kCommitOuter: {
+        // Every speculative write by this thread is now permanent.
+        for (auto& [loc, st] : locs) {
+          for (std::size_t j = st.spec.size(); j > 0; --j) {
+            if (st.spec[j - 1].tid == e.tid) {
+              st.spec.erase(st.spec.begin() + static_cast<std::ptrdiff_t>(j - 1));
+            }
+          }
+        }
+        break;
+      }
+
+      case EventKind::kAcquire:
+      case EventKind::kRelease:
+      case EventKind::kAbortFrame:
+      case EventKind::kPin:
+        break;  // structural markers; no per-location state
+    }
+  }
+  return result;
+}
+
+}  // namespace rvk::jmm

@@ -1,0 +1,62 @@
+#include "jmm/format.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace rvk::jmm {
+
+std::string format_event(const Event& e) {
+  std::ostringstream os;
+  os << "T" << e.tid << " ";
+  switch (e.kind) {
+    case EventKind::kRead:
+      os << "read    " << e.loc.base << "+" << e.loc.offset << " -> "
+         << e.value;
+      break;
+    case EventKind::kWrite:
+      os << "write   " << e.loc.base << "+" << e.loc.offset << " = "
+         << e.value << " (was " << e.old_value << ")";
+      if (e.frame != 0) os << " [frame " << e.frame << "]";
+      break;
+    case EventKind::kVolatileRead:
+      os << "vread   " << e.loc.base << " -> " << e.value;
+      break;
+    case EventKind::kVolatileWrite:
+      os << "vwrite  " << e.loc.base << " = " << e.value << " (was "
+         << e.old_value << ")";
+      if (e.frame != 0) os << " [frame " << e.frame << "]";
+      break;
+    case EventKind::kAcquire:
+      os << "acquire monitor " << e.monitor;
+      break;
+    case EventKind::kRelease:
+      os << "release monitor " << e.monitor;
+      break;
+    case EventKind::kUndo:
+      os << "undo    " << e.loc.base << "+" << e.loc.offset
+         << " restored to " << e.value;
+      break;
+    case EventKind::kCommitOuter:
+      os << "commit  (outermost section)";
+      break;
+    case EventKind::kAbortFrame:
+      os << "abort   frame " << e.frame;
+      break;
+    case EventKind::kPin:
+      os << "pin     frame " << e.frame << " (non-revocable)";
+      break;
+  }
+  return os.str();
+}
+
+void format_trace(const std::vector<Event>& events, std::ostream& os,
+                  std::size_t from, std::size_t limit) {
+  const std::size_t end =
+      limit == 0 ? events.size() : std::min(events.size(), from + limit);
+  for (std::size_t i = from; i < end; ++i) {
+    os << std::setw(6) << i << "  " << format_event(events[i]) << "\n";
+  }
+}
+
+}  // namespace rvk::jmm

@@ -1,0 +1,21 @@
+// Human-readable rendering of recorded execution traces — the post-mortem
+// view of an execution: one line per event, per-thread columns optional.
+// Used when a consistency check fails and by exploratory debugging.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "jmm/trace.hpp"
+
+namespace rvk::jmm {
+
+// One-line rendering of a single event.
+std::string format_event(const Event& e);
+
+// Writes the event stream, one line each, prefixed with the event index.
+// `from`/`limit` select a window (limit 0 = to the end).
+void format_trace(const std::vector<Event>& events, std::ostream& os,
+                  std::size_t from = 0, std::size_t limit = 0);
+
+}  // namespace rvk::jmm

@@ -1,0 +1,122 @@
+#include "jmm/trace.hpp"
+
+#include "rt/scheduler.hpp"
+
+namespace rvk::jmm {
+
+namespace {
+bool g_enabled = false;
+std::vector<Event> g_events;
+
+std::uint32_t current_tid() {
+  rt::VThread* t = rt::current_vthread();
+  return t != nullptr ? t->id() : 0;
+}
+
+std::uint64_t current_frame() {
+  rt::VThread* t = rt::current_vthread();
+  return t != nullptr ? t->current_frame_id : 0;
+}
+
+void access_hook(const heap::TraceAccess& a) { Trace::record_access(a); }
+}  // namespace
+
+void Trace::enable() {
+  g_events.clear();
+  g_enabled = true;
+  heap::set_trace_hook(&access_hook);
+}
+
+void Trace::disable() {
+  g_enabled = false;
+  heap::set_trace_hook(nullptr);
+}
+
+bool Trace::enabled() { return g_enabled; }
+
+const std::vector<Event>& Trace::events() { return g_events; }
+
+void Trace::record_access(const heap::TraceAccess& a) {
+  if (!g_enabled) return;
+  Event e;
+  switch (a.kind) {
+    case heap::TraceAccess::Kind::kRead:
+      e.kind = EventKind::kRead;
+      break;
+    case heap::TraceAccess::Kind::kWrite:
+      e.kind = EventKind::kWrite;
+      break;
+    case heap::TraceAccess::Kind::kVolatileRead:
+      e.kind = EventKind::kVolatileRead;
+      break;
+    case heap::TraceAccess::Kind::kVolatileWrite:
+      e.kind = EventKind::kVolatileWrite;
+      break;
+  }
+  e.tid = current_tid();
+  e.loc = Loc{a.base, a.offset};
+  e.value = a.value;
+  e.old_value = a.old_value;
+  if (e.kind == EventKind::kWrite || e.kind == EventKind::kVolatileWrite) {
+    // A write's frame is meaningful only when performed inside a section.
+    rt::VThread* t = rt::current_vthread();
+    e.frame = (t != nullptr && t->sync_depth > 0) ? current_frame() : 0;
+  }
+  g_events.push_back(e);
+}
+
+void Trace::record_acquire(const void* mon) {
+  if (!g_enabled) return;
+  Event e;
+  e.kind = EventKind::kAcquire;
+  e.tid = current_tid();
+  e.monitor = mon;
+  g_events.push_back(e);
+}
+
+void Trace::record_release(const void* mon) {
+  if (!g_enabled) return;
+  Event e;
+  e.kind = EventKind::kRelease;
+  e.tid = current_tid();
+  e.monitor = mon;
+  g_events.push_back(e);
+}
+
+void Trace::record_undo(Loc loc, std::uint64_t restored) {
+  if (!g_enabled) return;
+  Event e;
+  e.kind = EventKind::kUndo;
+  e.tid = current_tid();
+  e.loc = loc;
+  e.value = restored;
+  g_events.push_back(e);
+}
+
+void Trace::record_commit_outer() {
+  if (!g_enabled) return;
+  Event e;
+  e.kind = EventKind::kCommitOuter;
+  e.tid = current_tid();
+  g_events.push_back(e);
+}
+
+void Trace::record_abort_frame(std::uint64_t frame) {
+  if (!g_enabled) return;
+  Event e;
+  e.kind = EventKind::kAbortFrame;
+  e.tid = current_tid();
+  e.frame = frame;
+  g_events.push_back(e);
+}
+
+void Trace::record_pin(std::uint64_t frame) {
+  if (!g_enabled) return;
+  Event e;
+  e.kind = EventKind::kPin;
+  e.tid = current_tid();
+  e.frame = frame;
+  g_events.push_back(e);
+}
+
+}  // namespace rvk::jmm

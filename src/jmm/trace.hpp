@@ -1,0 +1,94 @@
+// Execution trace recorder.
+//
+// §2.1 of the paper defines the JMM constraint revocation must respect: a
+// rollback may not remove a happens-before edge some other thread's read
+// already relied on, or the value it read appears "out of thin air".  The
+// engine enforces this with non-revocability pinning (§2.2); *this* module
+// exists to check, over whole executions, that the enforcement worked.
+//
+// When enabled, the recorder captures a linear event stream — every shared
+// read/write (via the heap trace hook), every monitor acquire/release,
+// every undo performed by a rollback, and section commit/abort boundaries.
+// Because the substrate is single-core green threads, the stream is the
+// exact total order of the execution, which makes the checker (checker.hpp)
+// precise rather than approximate.
+//
+// Recording is global (one stream per process) and off by default; tests
+// enable it around a scheduler run and verify the collected trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "heap/barriers.hpp"
+
+namespace rvk::jmm {
+
+enum class EventKind : std::uint8_t {
+  kRead,           // shared read: loc, value
+  kWrite,          // shared write: loc, value, old_value, frame
+  kVolatileRead,   // volatile read
+  kVolatileWrite,  // volatile write
+  kAcquire,        // monitor acquired (non-recursive): mon
+  kRelease,        // monitor fully released: mon
+  kUndo,           // rollback restored loc to value (= the write's old value)
+  kCommitOuter,    // thread's outermost section committed
+  kAbortFrame,     // a frame aborted (after its undos were recorded)
+  kPin,            // a frame was marked non-revocable
+};
+
+// Location identity: (base pointer, offset) — matches the paper's
+// (reference, offset) store records.
+struct Loc {
+  const void* base = nullptr;
+  std::uint32_t offset = 0;
+
+  bool operator==(const Loc&) const = default;
+};
+
+struct LocHash {
+  std::size_t operator()(const Loc& l) const {
+    auto h = reinterpret_cast<std::uintptr_t>(l.base);
+    return static_cast<std::size_t>(h ^ (h >> 17) ^ (l.offset * 0x9E3779B9u));
+  }
+};
+
+struct Event {
+  EventKind kind = EventKind::kRead;
+  std::uint32_t tid = 0;       // green-thread id (0 = host code)
+  Loc loc;                     // reads/writes/undos
+  std::uint64_t value = 0;     // value read/written/restored
+  std::uint64_t old_value = 0; // writes: previous value
+  const void* monitor = nullptr;  // acquire/release
+  std::uint64_t frame = 0;     // frame id for write/abort/pin events
+};
+
+class Trace {
+ public:
+  // Enables recording into a fresh trace.  Installs the heap trace hook.
+  //
+  // The engine contributes the structural events (acquire/release, undo,
+  // commit) only when EngineConfig::trace is also set — enable BOTH, or the
+  // checker will see speculative writes that never commit and report
+  // spurious violations.
+  static void enable();
+
+  // Disables recording (uninstalls the hook).  The collected events remain
+  // available via events() until the next enable().
+  static void disable();
+
+  static bool enabled();
+
+  static const std::vector<Event>& events();
+
+  // Engine-side recording entry points (no-ops when disabled).
+  static void record_access(const heap::TraceAccess& a);
+  static void record_acquire(const void* mon);
+  static void record_release(const void* mon);
+  static void record_undo(Loc loc, std::uint64_t restored);
+  static void record_commit_outer();
+  static void record_abort_frame(std::uint64_t frame);
+  static void record_pin(std::uint64_t frame);
+};
+
+}  // namespace rvk::jmm

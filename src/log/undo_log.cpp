@@ -1,0 +1,13 @@
+#include "log/undo_log.hpp"
+
+namespace rvk::log {
+
+std::size_t UndoLog::count_kind(EntryKind kind, std::size_t from) const {
+  std::size_t n = 0;
+  for (std::size_t i = from; i < entries_.size(); ++i) {
+    if (entries_[i].kind == kind) ++n;
+  }
+  return n;
+}
+
+}  // namespace rvk::log

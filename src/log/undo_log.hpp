@@ -1,0 +1,133 @@
+// Sequential undo log for speculative synchronized sections.
+//
+// Paper §3.1.2: "The barrier records in the log every modification performed
+// by a thread executing a synchronized section. We implemented the log as a
+// sequential buffer. For object and array stores, three values are recorded:
+// object or array reference, value offset and the (old) value itself. For
+// static variable stores two values are recorded: the offset of the static
+// variable in the global symbol table and the old value."
+//
+// This module reproduces that structure.  Each green thread owns one
+// UndoLog.  Monitor frames remember the log size at entry (a *watermark*);
+// rollback of a frame replays the suffix above its watermark in reverse
+// ("the log is processed in reverse to restore modified locations to their
+// original values", §3.1.2) and truncates it.  Committing a *nested* frame
+// leaves its entries in place: they remain speculative until the outermost
+// frame commits, at which point the whole log is discarded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace rvk::log {
+
+// 64-bit machine word; all heap slots are word-sized (heap/ packs smaller
+// values into words), so one entry layout covers every store kind.
+using Word = std::uint64_t;
+
+enum class EntryKind : std::uint8_t {
+  kObjectField,   // putfield
+  kArrayElement,  // Xastore
+  kStaticField,   // putstatic
+  kVolatileSlot,  // volatile variable store (extension for jmm/ tracking)
+};
+
+// One logged store.  `addr` is the resolved location so replay is a single
+// word write; `base`/`offset` retain the paper's (reference, offset) pair for
+// diagnostics, statistics and tests.
+struct Entry {
+  Word* addr;
+  Word old_value;
+  const void* base;   // object/array reference, or statics-table id
+  std::uint32_t offset;
+  EntryKind kind;
+};
+
+// Statistics a log keeps about its own traffic; consumed by tests and by the
+// micro-overhead benchmarks.
+struct LogStats {
+  std::uint64_t appends = 0;          // total entries ever recorded
+  std::uint64_t words_undone = 0;     // entries replayed by rollbacks
+  std::uint64_t rollbacks = 0;        // rollback_to() invocations
+  std::uint64_t commits = 0;          // discard_all() invocations
+  std::uint64_t high_water = 0;       // max simultaneous entries
+};
+
+class UndoLog {
+ public:
+  // `initial_capacity` pre-sizes the sequential buffer; the log grows
+  // geometrically beyond it (an append must stay cheap: the paper charges
+  // barrier cost on every store inside a synchronized section).  The
+  // default comfortably covers a scaled benchmark section so steady-state
+  // appends never reallocate.
+  explicit UndoLog(std::size_t initial_capacity = 1 << 16) {
+    entries_.reserve(initial_capacity);
+  }
+
+  UndoLog(const UndoLog&) = delete;
+  UndoLog& operator=(const UndoLog&) = delete;
+
+  // Appends one store record.  Called from the write-barrier slow path —
+  // this is the per-store cost the paper's modified VM charges to every
+  // thread, so it stays minimal (one append + one counter; the high-water
+  // statistic is refreshed on the cold paths instead).
+  void record(EntryKind kind, Word* addr, Word old_value, const void* base,
+              std::uint32_t offset) {
+    entries_.push_back(Entry{addr, old_value, base, offset, kind});
+    ++stats_.appends;
+  }
+
+  // Current size; monitor frames capture this as their watermark.
+  std::size_t watermark() const { return entries_.size(); }
+
+  // Replays entries above `mark` in reverse order, restoring each location
+  // to its logged old value, then truncates the log to `mark`.
+  //
+  // Nested writes to the same location are handled naturally by reverse
+  // replay: the oldest entry is replayed last and wins.
+  void rollback_to(std::size_t mark) {
+    RVK_CHECK_MSG(mark <= entries_.size(), "watermark beyond log end");
+    refresh_high_water();
+    stats_.words_undone += entries_.size() - mark;
+    for (std::size_t i = entries_.size(); i > mark; --i) {
+      const Entry& e = entries_[i - 1];
+      *e.addr = e.old_value;
+    }
+    entries_.resize(mark);
+    ++stats_.rollbacks;
+  }
+
+  // Discards every entry: the outermost frame committed, so all speculative
+  // stores are now permanent.
+  void discard_all() {
+    refresh_high_water();
+    entries_.clear();
+    ++stats_.commits;
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const Entry& entry(std::size_t i) const { return entries_[i]; }
+  const LogStats& stats() {
+    refresh_high_water();
+    return stats_;
+  }
+  void reset_stats() { stats_ = LogStats{}; }
+
+  // Counts entries of `kind` in [from, end) — used by tests asserting which
+  // store kinds a workload logged.
+  std::size_t count_kind(EntryKind kind, std::size_t from = 0) const;
+
+ private:
+  void refresh_high_water() {
+    if (entries_.size() > stats_.high_water) stats_.high_water = entries_.size();
+  }
+
+  std::vector<Entry> entries_;
+  LogStats stats_;
+};
+
+}  // namespace rvk::log

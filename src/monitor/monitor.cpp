@@ -1,0 +1,122 @@
+#include "monitor/monitor.hpp"
+
+namespace rvk::monitor {
+
+void MonitorBase::acquire() {
+  rt::Scheduler* sched = rt::current_scheduler();
+  RVK_CHECK_MSG(sched != nullptr, "monitor used outside a running scheduler");
+  rt::VThread* t = sched->current_thread();
+  ++stats_.acquires;
+  if (owner_ == t) {
+    ++recursion_;
+    return;
+  }
+  bool contended = false;
+  while (!try_take(t)) {
+    if (!contended) {
+      contended = true;
+      ++stats_.contended;
+    }
+    on_block(t);
+    sched->block_current_on(entry_queue_);
+    on_wake(t);
+  }
+  on_acquired(t);
+}
+
+bool MonitorBase::try_take(rt::VThread* t) {
+  if (owner_ != nullptr) return false;
+  if (reserved_ != nullptr && reserved_ != t) {
+    if (t->priority() <= reserved_->priority()) return false;
+    ++stats_.steals;  // strictly higher priority displaces the reservation
+  }
+  reserved_ = nullptr;
+  owner_ = t;
+  recursion_ = 1;
+  owner_priority_ = t->priority();
+  return true;
+}
+
+void MonitorBase::release() { do_release(/*reserve=*/false); }
+
+void MonitorBase::release_reserving() { do_release(/*reserve=*/true); }
+
+void MonitorBase::do_release(bool reserve) {
+  rt::VThread* t = rt::current_vthread();
+  RVK_CHECK_MSG(owner_ == t, "release by non-owner");
+  if (--recursion_ > 0) return;
+  owner_ = nullptr;
+  owner_priority_ = 0;
+  on_released(t);
+  handoff(reserve);
+}
+
+void MonitorBase::adopt_owner(rt::VThread* t, int recursion) {
+  RVK_CHECK_MSG(owner_ == nullptr && reserved_ == nullptr,
+                "adopt_owner on a monitor that is not free");
+  RVK_CHECK(t != nullptr && recursion >= 1);
+  owner_ = t;
+  recursion_ = recursion;
+  owner_priority_ = t->priority();
+  on_acquired(t);
+}
+
+void MonitorBase::handoff(bool reserve) {
+  rt::Scheduler* sched = rt::current_scheduler();
+  if (rt::VThread* w = entry_queue_.pop_best()) {
+    if (reserve) reserved_ = w;
+    sched->make_runnable(w);
+    ++stats_.handoffs;
+  }
+}
+
+void MonitorBase::wait() {
+  rt::Scheduler* sched = rt::current_scheduler();
+  rt::VThread* t = sched->current_thread();
+  RVK_CHECK_MSG(owner_ == t, "wait() by non-owner");
+  ++stats_.waits;
+  on_wait_release(t);
+  const int saved = recursion_;
+  recursion_ = 1;  // release() drops the monitor fully in one step
+  release();
+  sched->block_current_on(wait_set_);
+  acquire();
+  recursion_ = saved;
+}
+
+bool MonitorBase::wait_for(std::uint64_t ticks) {
+  rt::Scheduler* sched = rt::current_scheduler();
+  rt::VThread* t = sched->current_thread();
+  RVK_CHECK_MSG(owner_ == t, "wait_for() by non-owner");
+  ++stats_.waits;
+  on_wait_release(t);
+  const int saved = recursion_;
+  recursion_ = 1;
+  release();
+  const bool notified = sched->block_current_on_for(wait_set_, ticks);
+  acquire();
+  recursion_ = saved;
+  return notified;
+}
+
+void MonitorBase::notify_one() {
+  rt::Scheduler* sched = rt::current_scheduler();
+  RVK_CHECK_MSG(owner_ == sched->current_thread(), "notify by non-owner");
+  ++stats_.notifies;
+  if (rt::VThread* w = wait_set_.pop_best()) sched->make_runnable(w);
+}
+
+void MonitorBase::notify_all() {
+  rt::Scheduler* sched = rt::current_scheduler();
+  RVK_CHECK_MSG(owner_ == sched->current_thread(), "notifyAll by non-owner");
+  ++stats_.notifies;
+  sched->wake_all(wait_set_);
+}
+
+void MonitorBase::on_block(rt::VThread*) {}
+void MonitorBase::on_wake(rt::VThread*) {}
+void MonitorBase::on_acquired(rt::VThread*) {}
+void MonitorBase::on_released(rt::VThread*) {}
+void MonitorBase::on_wait_release(rt::VThread*) {}
+
+}  // namespace rvk::monitor

@@ -1,0 +1,145 @@
+// Monitors (Java-style: mutual exclusion + wait sets), built on the green-
+// thread scheduler.
+//
+// MonitorBase provides the mechanics every variant shares:
+//  * recursive ownership ("a thread holding a monitor may enter another
+//    synchronized section guarded by the same … monitor", §2);
+//  * a deposited owner priority in the monitor header ("a thread acquiring a
+//    monitor deposits its priority in the header of the monitor object",
+//    §4) — the revocation engine compares against the *deposited* value, so
+//    later inheritance boosts do not mask an inversion;
+//  * prioritized entry queues (§4: "When a thread releases a monitor,
+//    another thread is scheduled from the queue" in priority order).  An
+//    ordinary release wakes the best waiter but leaves the monitor free
+//    until that waiter runs — an arriving thread may *barge* in first,
+//    exactly like Jikes RVM thin locks.  Only a release performed by a
+//    rollback reserves the monitor for the best waiter (§4: "After the
+//    low-priority thread rolls back its changes and releases the monitor,
+//    the high-priority thread acquires control of the synchronized
+//    section") — otherwise the revoked victim, which is already running,
+//    would simply barge back in and undo the revocation's point.  A
+//    reservation can still be displaced by a strictly higher-priority
+//    arrival;
+//  * wait/notify/notifyAll with Java semantics (full release, FIFO-within-
+//    priority wait sets, spurious wakeups permitted — the paper relies on
+//    that permission to make notify revocable, §2.2).
+//
+// Concrete variants:
+//  * BlockingMonitor   — the paper's "unmodified VM" reference behaviour;
+//  * PriorityInheritanceMonitor / PriorityCeilingMonitor (own headers) —
+//    the classical avoidance protocols, for the baseline ablations;
+//  * core::RevocableMonitor — the paper's contribution, layered on the same
+//    base in src/core/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+#include "rt/scheduler.hpp"
+
+namespace rvk::monitor {
+
+struct MonitorStats {
+  std::uint64_t acquires = 0;    // acquire() calls (including recursive)
+  std::uint64_t contended = 0;   // acquires that had to block at least once
+  std::uint64_t handoffs = 0;    // release-time reservations granted
+  std::uint64_t steals = 0;      // reservations displaced by higher priority
+  std::uint64_t waits = 0;
+  std::uint64_t notifies = 0;
+};
+
+class MonitorBase {
+ public:
+  explicit MonitorBase(std::string name) : name_(std::move(name)) {}
+  virtual ~MonitorBase() = default;
+
+  MonitorBase(const MonitorBase&) = delete;
+  MonitorBase& operator=(const MonitorBase&) = delete;
+
+  // Acquires the monitor, blocking as needed.  Recursive acquisition by the
+  // owner succeeds immediately.
+  virtual void acquire();
+
+  // Releases one level of ownership; frees the monitor (waking the best
+  // waiter) when the recursion count reaches zero.  Arrivals may barge in
+  // before the woken waiter runs.
+  virtual void release();
+
+  // Like release(), but reserves the monitor for the best waiter: only a
+  // strictly higher-priority arrival may take it first.  Used by rollback
+  // unwinding so the preempting thread — not the revoked victim retrying —
+  // enters next.
+  void release_reserving();
+
+  // Java Object.wait(): fully releases the monitor (all recursion levels),
+  // parks on the wait set until notified (spurious wakeups permitted), then
+  // reacquires to the saved recursion depth.
+  void wait();
+
+  // Java Object.wait(timeout): as wait(), but gives up after `ticks`
+  // virtual ticks.  Returns true if notified, false on timeout; the monitor
+  // is reacquired either way.
+  bool wait_for(std::uint64_t ticks);
+
+  // Java Object.notify()/notifyAll(): moves waiter(s) to contend for the
+  // monitor.  Caller must hold the monitor.
+  void notify_one();
+  void notify_all();
+
+  // Runtime-internal: transfers ownership bookkeeping to this monitor
+  // during thin-lock inflation — the thread already logically owns the
+  // thin lock, so no acquisition protocol runs.  The monitor must be free.
+  void adopt_owner(rt::VThread* t, int recursion);
+
+  // ---- Introspection ----
+  const std::string& name() const { return name_; }
+  rt::VThread* owner() const { return owner_; }
+  int recursion() const { return recursion_; }
+  // Priority the owner deposited at acquisition (0 when free).
+  int deposited_priority() const { return owner_priority_; }
+  bool held_by(const rt::VThread* t) const { return owner_ == t; }
+  bool held_by_current() const { return owner_ == rt::current_vthread(); }
+  const MonitorStats& stats() const { return stats_; }
+  const rt::WaitQueue& entry_queue() const { return entry_queue_; }
+  const rt::WaitQueue& wait_set() const { return wait_set_; }
+
+ protected:
+  // Attempts to take the free monitor, honouring reservations.  Deposits the
+  // taker's priority on success.
+  bool try_take(rt::VThread* t);
+
+  // Pops the best entry-queue waiter and makes it runnable; if `reserve`,
+  // additionally reserves the monitor for it.  Called with the monitor free.
+  void handoff(bool reserve);
+
+  // Shared body of release()/release_reserving().
+  void do_release(bool reserve);
+
+  // Subclass hooks (priority protocols, revocation engine).
+  virtual void on_block(rt::VThread* t);      // about to park on entry queue
+  virtual void on_wake(rt::VThread* t);       // returned from parking
+  virtual void on_acquired(rt::VThread* t);   // took ownership (non-recursive)
+  virtual void on_released(rt::VThread* t);   // dropped ownership fully
+  virtual void on_wait_release(rt::VThread* t);  // wait() releasing
+
+  std::string name_;
+  rt::VThread* owner_ = nullptr;
+  rt::VThread* reserved_ = nullptr;  // woken waiter the monitor is held for
+  int recursion_ = 0;
+  int owner_priority_ = 0;
+  rt::WaitQueue entry_queue_;
+  rt::WaitQueue wait_set_;
+  MonitorStats stats_;
+};
+
+// The paper's reference: a plain blocking monitor with prioritized queues
+// and no remedy for priority inversion ("when a high-priority thread wants
+// to acquire a lock already held by a low-priority thread, it waits until
+// the low-priority thread exits the synchronized section", §4.1).
+class BlockingMonitor final : public MonitorBase {
+ public:
+  explicit BlockingMonitor(std::string name) : MonitorBase(std::move(name)) {}
+};
+
+}  // namespace rvk::monitor

@@ -1,0 +1,84 @@
+#include "monitor/thin_lock.hpp"
+
+namespace rvk::monitor {
+
+void ThinLock::acquire() {
+  rt::VThread* t = rt::current_vthread();
+  RVK_CHECK_MSG(t != nullptr, "thin lock used outside a running scheduler");
+  if (heavy_ != nullptr) {
+    ++stats_.heavy_acquires;
+    heavy_->acquire();
+    return;
+  }
+  if (word_ == 0) {
+    // Uncontended fast path: one word store.
+    word_ = (static_cast<std::uint64_t>(t->id()) << kCountBits) | 1;
+    ++stats_.thin_acquires;
+    return;
+  }
+  if (word_owner_id() == t->id()) {
+    if (word_count() == kMaxCount) {
+      // Recursion counter exhausted: inflate, carrying the count over.
+      ++stats_.inflation_by_overflow;
+      inflate(t);
+      ++stats_.heavy_acquires;
+      heavy_->acquire();  // recursion kMaxCount + 1
+      return;
+    }
+    ++word_;  // recursive fast path
+    ++stats_.thin_acquires;
+    return;
+  }
+  // Contention: inflate on behalf of the current thin owner, then contend
+  // on the heavy monitor like everyone else.
+  ++stats_.inflation_by_contention;
+  rt::VThread* owner =
+      rt::current_scheduler()->thread_by_id(word_owner_id());
+  RVK_CHECK_MSG(owner != nullptr, "thin-lock owner thread not found");
+  inflate(owner);
+  ++stats_.heavy_acquires;
+  heavy_->acquire();
+}
+
+void ThinLock::release() {
+  if (heavy_ != nullptr) {
+    heavy_->release();
+    return;
+  }
+  rt::VThread* t = rt::current_vthread();
+  RVK_CHECK_MSG(t != nullptr && word_owner_id() == t->id(),
+                "thin-lock release by non-owner");
+  if (word_count() > 1) {
+    --word_;
+  } else {
+    word_ = 0;
+  }
+}
+
+void ThinLock::inflate(rt::VThread* owner) {
+  RVK_CHECK(heavy_ == nullptr);
+  heavy_ = std::make_unique<BlockingMonitor>(name_ + ":inflated");
+  ++stats_.inflations;
+  if (owner != nullptr && word_ != 0) {
+    heavy_->adopt_owner(owner, static_cast<int>(word_count()));
+  }
+  word_ = 0;
+}
+
+MonitorBase& ThinLock::heavy() {
+  if (heavy_ == nullptr) {
+    rt::VThread* owner =
+        word_ == 0 ? nullptr
+                   : rt::current_scheduler()->thread_by_id(word_owner_id());
+    inflate(owner);
+  }
+  return *heavy_;
+}
+
+bool ThinLock::held_by_current() const {
+  if (heavy_ != nullptr) return heavy_->held_by_current();
+  rt::VThread* t = rt::current_vthread();
+  return t != nullptr && word_ != 0 && word_owner_id() == t->id();
+}
+
+}  // namespace rvk::monitor

@@ -1,0 +1,94 @@
+// Thin locks with inflation — the lock representation Jikes RVM (the
+// paper's platform) gives every object.
+//
+// The common case — an uncontended, shallowly recursive lock — is a single
+// header word: [owner thread id : 24][recursion count : 8], zero when free.
+// Acquire/release on the fast path touch only that word.  The lock
+// *inflates* to a heavy MonitorBase (with entry queue, wait set, priority
+// bookkeeping) on the first contention or on recursion-count overflow, and
+// stays inflated for its lifetime.
+//
+// On this green-thread substrate the transitions need no atomics (context
+// switches happen only at yield points, and none occur inside these
+// methods); the ENCODING is kept faithful because it is what makes the
+// paper's "deposits its priority in the header of the monitor object" (§4)
+// protocol interesting: the deposit only exists once the lock is heavy,
+// which is exactly the only time contention decisions are made.
+//
+// ThinLock is a monitor/ substrate feature used by baselines and
+// micro-benchmarks; the revocation engine always uses heavy
+// RevocableMonitors (every synchronized section needs frame bookkeeping
+// regardless of contention, so a thin path would buy nothing there).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "monitor/monitor.hpp"
+
+namespace rvk::monitor {
+
+struct ThinLockStats {
+  std::uint64_t thin_acquires = 0;   // fast-path acquisitions
+  std::uint64_t heavy_acquires = 0;  // acquisitions after inflation
+  std::uint64_t inflations = 0;      // 0 or 1; kept as a counter for sweeps
+  std::uint64_t inflation_by_contention = 0;
+  std::uint64_t inflation_by_overflow = 0;
+};
+
+class ThinLock {
+ public:
+  explicit ThinLock(std::string name) : name_(std::move(name)) {}
+
+  ThinLock(const ThinLock&) = delete;
+  ThinLock& operator=(const ThinLock&) = delete;
+
+  void acquire();
+  void release();
+
+  bool inflated() const { return heavy_ != nullptr; }
+
+  // The heavy monitor, inflating on demand (Object.wait needs it even
+  // without prior contention, like real JVMs).
+  MonitorBase& heavy();
+
+  bool held_by_current() const;
+  const std::string& name() const { return name_; }
+  const ThinLockStats& stats() const { return stats_; }
+
+  // Lock-word accessors (tests/diagnostics).
+  std::uint32_t word_owner_id() const {
+    return static_cast<std::uint32_t>(word_ >> kCountBits);
+  }
+  std::uint32_t word_count() const {
+    return static_cast<std::uint32_t>(word_ & kCountMask);
+  }
+
+ private:
+  static constexpr std::uint32_t kCountBits = 8;
+  static constexpr std::uint64_t kCountMask = (1u << kCountBits) - 1;
+  static constexpr std::uint64_t kMaxCount = kCountMask;
+
+  // Inflates while the thin lock is held by `owner` (or free when nullptr).
+  void inflate(rt::VThread* owner);
+
+  std::string name_;
+  std::uint64_t word_ = 0;  // [owner id : high][count : kCountBits]
+  std::unique_ptr<BlockingMonitor> heavy_;
+  ThinLockStats stats_;
+};
+
+// RAII section over a ThinLock.
+class ThinLockGuard {
+ public:
+  explicit ThinLockGuard(ThinLock& lock) : lock_(lock) { lock_.acquire(); }
+  ~ThinLockGuard() { lock_.release(); }
+  ThinLockGuard(const ThinLockGuard&) = delete;
+  ThinLockGuard& operator=(const ThinLockGuard&) = delete;
+
+ private:
+  ThinLock& lock_;
+};
+
+}  // namespace rvk::monitor

@@ -1,0 +1,166 @@
+#include "pthreadrt/revocable_mutex.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+namespace rvk::pthreadrt {
+
+namespace detail {
+thread_local std::vector<Section*> tl_sections;
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Section
+
+void Section::check_owner(RevocableMutex& owner) const {
+  RVK_CHECK_MSG(&owner == &mutex_,
+                "TxCell accessed from a section of a different mutex");
+  RVK_CHECK_MSG(mutex_.owner_ == std::this_thread::get_id(),
+                "TxCell access outside the owning section");
+}
+
+void Section::safepoint() {
+  if (!mutex_.revoke_requested_.load(std::memory_order_relaxed)) return;
+  if (nonrevocable_) {
+    // Pinned after the request: refuse it under the lock so the requester's
+    // bookkeeping stays consistent.
+    std::lock_guard<std::mutex> lk(mutex_.m_);
+    mutex_.revoke_requested_.store(false, std::memory_order_relaxed);
+    ++mutex_.stats_.denied_nonrevocable;
+    return;
+  }
+  throw SectionRevoked(&mutex_);
+}
+
+void Section::set_nonrevocable() {
+  if (nonrevocable_) return;
+  std::lock_guard<std::mutex> lk(mutex_.m_);
+  nonrevocable_ = true;
+  if (mutex_.revoke_requested_.load(std::memory_order_relaxed)) {
+    mutex_.revoke_requested_.store(false, std::memory_order_relaxed);
+    ++mutex_.stats_.denied_nonrevocable;
+  }
+}
+
+void Section::rollback() {
+  for (std::size_t i = undo_.size(); i > 0; --i) {
+    *undo_[i - 1].addr = undo_[i - 1].old_value;
+  }
+  undo_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// RevocableMutex
+
+void RevocableMutex::acquire(int priority, Section* section) {
+  std::unique_lock<std::mutex> lk(m_);
+  ++stats_.acquires;
+  RVK_CHECK_MSG(!(held_ && owner_ == std::this_thread::get_id()),
+                "recursive run() on the same RevocableMutex");
+  if (held_ || !waiting_.empty()) {
+    ++stats_.contended;
+    // Priority-inversion check against the *current* owner; later owners
+    // can only be of equal or higher priority than us (handoff order), so
+    // one request suffices.
+    if (held_ && priority > owner_priority_) {
+      if (current_section_ != nullptr && !current_section_->nonrevocable()) {
+        revoke_requested_.store(true, std::memory_order_relaxed);
+        ++stats_.revocations_requested;
+      } else {
+        ++stats_.denied_nonrevocable;
+      }
+    }
+    auto it = waiting_.insert(priority);
+    const auto wait_start = std::chrono::steady_clock::now();
+    auto next_probe = wait_start + deadlock_probe_;
+    const auto ready = [this, priority] {
+      return !held_ && priority >= *waiting_.rbegin();
+    };
+    // A blocked acquire is itself a revocation point: poll for (a) the
+    // handoff, (b) revocation requests against sections WE hold (a
+    // deadlock peer clearing its path through us), (c) our own impatience.
+    while (!cv_.wait_for(lk, std::chrono::milliseconds(1), ready)) {
+      // (b) Unwind if any of our held revocable sections was asked to
+      // roll back — we cannot serve that request while parked here.
+      for (Section* held : detail::tl_sections) {
+        RevocableMutex& hm = held->mutex_;
+        if (&hm != this && !held->nonrevocable() &&
+            hm.revoke_requested_.load(std::memory_order_relaxed)) {
+          waiting_.erase(it);
+          lk.unlock();
+          throw SectionRevoked(&hm);
+        }
+      }
+      // (c) Deadlock probe: after waiting `deadlock_probe_`, request the
+      // holder's revocation regardless of priority.  Symmetric cycles pick
+      // one requester by thread-id hash; a thread whose held sections are
+      // all pinned may always request (it cannot be revoked itself).
+      if (deadlock_probe_.count() > 0 &&
+          std::chrono::steady_clock::now() >= next_probe) {
+        next_probe += deadlock_probe_;
+        if (held_ && current_section_ != nullptr &&
+            !current_section_->nonrevocable()) {
+          // std::thread::id's total order gives a collision-free tie-break.
+          bool allowed = std::this_thread::get_id() < owner_;
+          if (!allowed && !detail::tl_sections.empty()) {
+            allowed = true;
+            for (Section* held : detail::tl_sections) {
+              if (!held->nonrevocable()) {
+                allowed = false;
+                break;
+              }
+            }
+          }
+          if (allowed) {
+            revoke_requested_.store(true, std::memory_order_relaxed);
+            ++stats_.impatient_requests;
+          }
+        }
+      }
+    }
+    waiting_.erase(it);
+  }
+  held_ = true;
+  owner_ = std::this_thread::get_id();
+  owner_priority_ = priority;
+  current_section_ = section;  // published under m_; contenders read under m_
+}
+
+void RevocableMutex::release_locked(std::unique_lock<std::mutex>& lk) {
+  held_ = false;
+  owner_ = std::thread::id{};
+  owner_priority_ = 0;
+  current_section_ = nullptr;
+  revoke_requested_.store(false, std::memory_order_relaxed);
+  lk.unlock();
+  cv_.notify_all();
+}
+
+void RevocableMutex::commit(Section& s) {
+  (void)s;
+  std::unique_lock<std::mutex> lk(m_);
+  ++stats_.commits;
+  release_locked(lk);
+}
+
+void RevocableMutex::abort(Section& s) {
+  // Undo before anyone else can enter: we still hold the mutex, and cells
+  // are only touchable by the holder, so the replay is race-free.
+  s.rollback();
+  std::unique_lock<std::mutex> lk(m_);
+  ++stats_.rollbacks;
+  release_locked(lk);
+}
+
+MutexStats RevocableMutex::stats() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return stats_;
+}
+
+bool try_set_native_priority(int rt_priority) {
+  sched_param param{};
+  param.sched_priority = rt_priority;
+  return pthread_setschedparam(pthread_self(), SCHED_RR, &param) == 0;
+}
+
+}  // namespace rvk::pthreadrt

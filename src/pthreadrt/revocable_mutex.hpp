@@ -1,0 +1,299 @@
+// Revocable locking for native threads (extension beyond the paper).
+//
+// The paper's mechanism lives inside a green-thread VM, where yield points
+// and single-core scheduling make revocation delivery and undo atomicity
+// easy.  This module transplants the same protocol onto preemptive
+// std::thread: critical sections are speculative callables over TxCell
+// variables, writes are undo-logged, and a higher-priority contender can
+// force the holder to roll back at its next explicit safepoint.
+//
+// Differences from core/ (all forced by native preemption):
+//  * safepoints are explicit calls inside the section body (the compiler
+//    yield points of §3.1 have no host-C++ equivalent);
+//  * priorities are logical values passed to run() — real-time OS priorities
+//    need privileges; try_set_native_priority() attempts them best-effort;
+//  * sections on one mutex are the unit of speculation; nesting across
+//    mutexes is supported (inner sections commit into the outer's log), but
+//    revocation always targets the outermost section of the contended
+//    mutex, like core/.
+//
+// JMM-style escape analysis is replaced by a simpler contract: TxCell reads
+// and writes are only legal inside a section holding the owning mutex, so a
+// speculative value can never escape to another thread and rollback is
+// always consistent.  (Cells are owned by exactly one mutex, declared at
+// construction.)
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace rvk::pthreadrt {
+
+using Word = std::uint64_t;
+
+class RevocableMutex;
+template <typename T>
+class TxArray;
+
+// Thrown inside a section when a revocation request is observed at a
+// safepoint.  Internal control flow — never swallow it.
+class SectionRevoked {
+ public:
+  explicit SectionRevoked(const RevocableMutex* target) : target_(target) {}
+  const RevocableMutex* target() const { return target_; }
+
+ private:
+  const RevocableMutex* target_;
+};
+
+// A word-sized transactional variable owned by one RevocableMutex.
+template <typename T>
+class TxCell {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(Word),
+                "TxCell holds trivially copyable word-sized values");
+
+ public:
+  explicit TxCell(RevocableMutex& owner, T initial = T{});
+
+  TxCell(const TxCell&) = delete;
+  TxCell& operator=(const TxCell&) = delete;
+
+  // Reads/writes are members of Section (enforcing the holding rule); the
+  // cell itself only exposes unsynchronized access for setup/teardown.
+  T unsafe_get() const {
+    T v{};
+    std::memcpy(&v, &word_, sizeof(T));
+    return v;
+  }
+  void unsafe_set(T v) { std::memcpy(&word_, &v, sizeof(T)); }
+
+ private:
+  friend class Section;
+  RevocableMutex& owner_;
+  Word word_ = 0;
+};
+
+struct MutexStats {
+  std::uint64_t acquires = 0;
+  std::uint64_t contended = 0;
+  std::uint64_t revocations_requested = 0;
+  std::uint64_t impatient_requests = 0;  // deadlock-probe revocations
+  std::uint64_t rollbacks = 0;
+  std::uint64_t denied_nonrevocable = 0;
+  std::uint64_t commits = 0;
+};
+
+// Handle passed to section bodies; provides cell access, safepoints, and
+// pinning.
+class Section {
+ public:
+  template <typename T>
+  T read(TxCell<T>& cell) {
+    check_owner(cell_owner(cell));
+    return cell.unsafe_get();
+  }
+
+  template <typename T>
+  void write(TxCell<T>& cell, T value) {
+    check_owner(cell_owner(cell));
+    undo_.push_back(UndoEntry{&cell_word(cell), cell_word(cell)});
+    cell.unsafe_set(value);
+  }
+
+  template <typename T>
+  T read(TxArray<T>& arr, std::size_t i) {
+    check_owner(arr.owner_);
+    RVK_CHECK_MSG(i < arr.size(), "TxArray index out of range");
+    return arr.unsafe_get(i);
+  }
+
+  template <typename T>
+  void write(TxArray<T>& arr, std::size_t i, T value) {
+    check_owner(arr.owner_);
+    RVK_CHECK_MSG(i < arr.size(), "TxArray index out of range");
+    undo_.push_back(UndoEntry{&arr.words_[i], arr.words_[i]});
+    arr.unsafe_set(i, value);
+  }
+
+  // Revocation delivery point: throws SectionRevoked if a contender posted a
+  // request and this section is still revocable.
+  void safepoint();
+
+  // Marks the section irrevocable (the paper's native-call/wait rule).
+  // Pending and future requests are refused; contenders block normally.
+  void set_nonrevocable();
+
+  bool nonrevocable() const { return nonrevocable_; }
+  std::size_t writes_logged() const { return undo_.size(); }
+
+ private:
+  friend class RevocableMutex;
+  struct UndoEntry {
+    Word* addr;
+    Word old_value;
+  };
+
+  explicit Section(RevocableMutex& m) : mutex_(m) {}
+
+  template <typename T>
+  static RevocableMutex& cell_owner(TxCell<T>& c) {
+    return c.owner_;
+  }
+  template <typename T>
+  static Word& cell_word(TxCell<T>& c) {
+    return c.word_;
+  }
+  void check_owner(RevocableMutex& owner) const;
+  void rollback();
+
+  RevocableMutex& mutex_;
+  std::vector<UndoEntry> undo_;
+  bool nonrevocable_ = false;
+};
+
+namespace detail {
+// Per-thread stack of active sections; entering a nested section pins the
+// enclosing ones (see the module comment).
+extern thread_local std::vector<Section*> tl_sections;
+}  // namespace detail
+
+class RevocableMutex {
+ public:
+  // `deadlock_probe`: if nonzero, a contender that has waited this long
+  // suspects a deadlock and may request the holder's revocation regardless
+  // of priority.  Cross-mutex deadlocks become breakable because blocked
+  // acquires are themselves revocation points: a thread waiting for mutex B
+  // while holding a revocable section of mutex A notices A's revocation
+  // request during the wait and unwinds (throwing SectionRevoked(A) out of
+  // the blocked acquire), releasing A.  To avoid mutual-revocation
+  // livelock, in a symmetric cycle only the thread with the smaller
+  // thread id issues the impatient request; a thread whose held
+  // sections are all non-revocable may always issue one (it cannot be the
+  // victim itself).
+  explicit RevocableMutex(std::string name,
+                          std::chrono::milliseconds deadlock_probe =
+                              std::chrono::milliseconds(0))
+      : name_(std::move(name)), deadlock_probe_(deadlock_probe) {}
+
+  RevocableMutex(const RevocableMutex&) = delete;
+  RevocableMutex& operator=(const RevocableMutex&) = delete;
+
+  // Runs `body(Section&)` as a speculative critical section at the given
+  // logical priority.  If a higher-priority thread contends, the section is
+  // revoked at its next safepoint: writes are undone, the mutex is handed
+  // over, and the body re-runs from the start once the mutex is
+  // reacquirable.  Returns the number of rollbacks the section suffered.
+  template <typename F>
+  int run(int priority, F&& body) {
+    int rollbacks = 0;
+    for (;;) {
+      Section section(*this);
+      // acquire() publishes the section pointer while holding the internal
+      // lock — contenders inspect it (revocability) under the same lock.
+      acquire(priority, &section);
+      // Cross-mutex nesting: a revocation of an enclosing section cannot
+      // undo this section's (independently committed) writes, so the
+      // enclosing sections become irrevocable — the conservative analogue
+      // of the paper's native-call rule.
+      for (Section* outer : detail::tl_sections) outer->set_nonrevocable();
+      detail::tl_sections.push_back(&section);
+      try {
+        body(section);
+        detail::tl_sections.pop_back();
+        commit(section);
+        return rollbacks;
+      } catch (const SectionRevoked& e) {
+        detail::tl_sections.pop_back();
+        abort(section);
+        if (e.target() != this) throw;  // outer mutex's revocation
+        ++rollbacks;
+        // Give the preempting thread the lock before retrying.
+        std::this_thread::yield();
+      } catch (...) {
+        // User exception: Java-style abrupt completion — updates stand.
+        detail::tl_sections.pop_back();
+        commit(section);
+        throw;
+      }
+    }
+  }
+
+  const std::string& name() const { return name_; }
+  MutexStats stats() const;
+
+ private:
+  friend class Section;
+
+  void acquire(int priority, Section* section);
+  void release_locked(std::unique_lock<std::mutex>& lk);
+  void commit(Section& s);
+  void abort(Section& s);
+
+  std::string name_;
+  std::chrono::milliseconds deadlock_probe_{0};
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  bool held_ = false;
+  std::thread::id owner_{};
+  int owner_priority_ = 0;
+  // Priorities of current waiters; on release the highest one wins the
+  // handoff (the prioritized monitor queues of §4).
+  std::multiset<int> waiting_;
+  std::atomic<bool> revoke_requested_{false};
+  Section* current_section_ = nullptr;  // valid only while held
+  MutexStats stats_;
+};
+
+template <typename T>
+TxCell<T>::TxCell(RevocableMutex& owner, T initial) : owner_(owner) {
+  unsafe_set(initial);
+}
+
+// A fixed-length array of word-sized transactional values owned by one
+// mutex; element writes are undo-logged like TxCell stores.
+template <typename T>
+class TxArray {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(Word),
+                "TxArray holds trivially copyable word-sized values");
+
+ public:
+  TxArray(RevocableMutex& owner, std::size_t length, T initial = T{})
+      : owner_(owner), words_(length, 0) {
+    for (std::size_t i = 0; i < length; ++i) unsafe_set(i, initial);
+  }
+
+  TxArray(const TxArray&) = delete;
+  TxArray& operator=(const TxArray&) = delete;
+
+  std::size_t size() const { return words_.size(); }
+
+  T unsafe_get(std::size_t i) const {
+    T v{};
+    std::memcpy(&v, &words_[i], sizeof(T));
+    return v;
+  }
+  void unsafe_set(std::size_t i, T v) { std::memcpy(&words_[i], &v, sizeof(T)); }
+
+ private:
+  friend class Section;
+  RevocableMutex& owner_;
+  std::vector<Word> words_;
+};
+
+// Best-effort attempt to give the calling thread a real-time OS priority
+// (SCHED_RR at `rt_priority`); returns false without privileges.  The
+// library's protocol works on logical priorities regardless.
+bool try_set_native_priority(int rt_priority);
+
+}  // namespace rvk::pthreadrt

@@ -1,0 +1,464 @@
+#include "rt/scheduler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+// AddressSanitizer needs to be told about stack switches or its unwinding
+// machinery (e.g. __asan_handle_no_return during exception propagation on a
+// fiber stack) reports wild stack-buffer overflows — the classic
+// google/sanitizers#189.  The annotations are no-ops elsewhere.
+#if defined(__SANITIZE_ADDRESS__)
+#define RVK_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define RVK_ASAN_FIBERS 1
+#endif
+#endif
+#ifdef RVK_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace rvk::rt {
+
+namespace detail {
+thread_local Scheduler* g_current_scheduler = nullptr;
+}  // namespace detail
+
+Scheduler* current_scheduler() { return detail::g_current_scheduler; }
+
+VThread* current_vthread() {
+  Scheduler* s = detail::g_current_scheduler;
+  return s != nullptr ? s->current_thread() : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// VThread
+
+VThread::VThread(Scheduler* sched, ThreadId id, std::string name, int priority,
+                 std::function<void()> body, std::size_t stack_size)
+    : sched_(sched),
+      id_(id),
+      name_(std::move(name)),
+      priority_(priority),
+      body_(std::move(body)),
+      stack_(std::make_unique<Stack>(stack_size)) {
+  RVK_CHECK_MSG(priority >= kMinPriority && priority <= kMaxPriority,
+                "thread priority out of Java range [1,10]");
+}
+
+void VThread::entry() {
+#ifdef RVK_ASAN_FIBERS
+  // First arrival on this fiber's stack: complete the switch the scheduler
+  // started, learning the scheduler's (OS thread) stack bounds on the way.
+  __sanitizer_finish_switch_fiber(nullptr, &sched_->sched_stack_bottom_,
+                                  &sched_->sched_stack_size_);
+#endif
+  try {
+    body_();
+  } catch (...) {
+    uncaught_ = std::current_exception();
+  }
+  sched_->finish_current();
+}
+
+namespace {
+// makecontext passes only ints; split the VThread pointer across two.
+void thread_trampoline(unsigned int hi, unsigned int lo) {
+  auto ptr = (static_cast<std::uintptr_t>(hi) << 32) |
+             static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<VThread*>(ptr)->entry();
+  RVK_UNREACHABLE("green thread returned past entry()");
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WaitQueue
+
+void WaitQueue::push(VThread* t) {
+  items_.push_back(Item{t, next_seq_++});
+}
+
+std::size_t WaitQueue::best_index() const {
+  std::size_t best = items_.size();
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (best == items_.size() ||
+        items_[i].thread->priority() > items_[best].thread->priority() ||
+        (items_[i].thread->priority() == items_[best].thread->priority() &&
+         items_[i].seq < items_[best].seq)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+VThread* WaitQueue::pop_best() {
+  if (items_.empty()) return nullptr;
+  std::size_t i = best_index();
+  VThread* t = items_[i].thread;
+  items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(i));
+  return t;
+}
+
+VThread* WaitQueue::peek_best() const {
+  if (items_.empty()) return nullptr;
+  return items_[best_index()].thread;
+}
+
+bool WaitQueue::remove(VThread* t) {
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].thread == t) {
+      items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool WaitQueue::has_waiter_above(int prio) const {
+  for (const Item& it : items_) {
+    if (it.thread->priority() > prio) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+
+Scheduler::Scheduler(SchedulerConfig cfg) : cfg_(cfg) {
+  RVK_CHECK(cfg_.quantum > 0);
+}
+
+Scheduler::~Scheduler() {
+  RVK_CHECK_MSG(!running_, "Scheduler destroyed while running");
+}
+
+VThread* Scheduler::spawn(std::string name, int priority,
+                          std::function<void()> body) {
+  auto thread = std::make_unique<VThread>(this, next_id_++, std::move(name),
+                                          priority, std::move(body),
+                                          cfg_.stack_size);
+  VThread* t = thread.get();
+  RVK_CHECK_MSG(getcontext(&t->context_) == 0, "getcontext failed");
+  t->context_.uc_stack.ss_sp = t->stack_->base();
+  t->context_.uc_stack.ss_size = t->stack_->size();
+  t->context_.uc_link = &sched_context_;
+  const auto ptr = reinterpret_cast<std::uintptr_t>(t);
+  makecontext(&t->context_, reinterpret_cast<void (*)()>(thread_trampoline), 2,
+              static_cast<unsigned int>(ptr >> 32),
+              static_cast<unsigned int>(ptr & 0xFFFFFFFFu));
+  t->state_ = ThreadState::kRunnable;
+  threads_.push_back(std::move(thread));
+  ready_.push_back(t);
+  ++live_count_;
+  return t;
+}
+
+Scheduler* Scheduler::current() { return detail::g_current_scheduler; }
+
+VThread* Scheduler::pick_next() {
+  if (ready_.empty()) return nullptr;
+  if (!cfg_.strict_priority) {
+    VThread* t = ready_.front();
+    ready_.pop_front();
+    return t;
+  }
+  // Strict priority: first (oldest) entry among the highest-priority ones.
+  auto best = ready_.begin();
+  for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+    if ((*it)->priority() > (*best)->priority()) best = it;
+  }
+  VThread* t = *best;
+  ready_.erase(best);
+  return t;
+}
+
+void Scheduler::dispatch(VThread* t) {
+  RVK_CHECK(t->state_ == ThreadState::kRunnable);
+  t->state_ = ThreadState::kRunning;
+  t->quantum_left_ = cfg_.quantum;
+  ++t->stats_.dispatches;
+  ++dispatches_;
+  current_ = t;
+#ifdef RVK_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&asan_fake_stack_, t->stack_->base(),
+                                 t->stack_->size());
+#endif
+  RVK_CHECK_MSG(swapcontext(&sched_context_, &t->context_) == 0,
+                "swapcontext into thread failed");
+#ifdef RVK_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(asan_fake_stack_, nullptr, nullptr);
+#endif
+  current_ = nullptr;
+
+  switch (last_reason_) {
+    case SwitchReason::kYield:
+      t->state_ = ThreadState::kRunnable;
+      ready_.push_back(t);
+      break;
+    case SwitchReason::kBlock:
+    case SwitchReason::kSleep:
+      // State and queue membership were set before switching out.
+      break;
+    case SwitchReason::kFinish:
+      t->state_ = ThreadState::kFinished;
+      --live_count_;
+      wake_all(t->joiners_);
+      break;
+  }
+}
+
+void Scheduler::switch_out(SwitchReason reason) {
+  VThread* t = current_;
+  RVK_DCHECK(t != nullptr);
+  last_reason_ = reason;
+#ifdef RVK_ASAN_FIBERS
+  // A finishing fiber's fake stack is torn down (nullptr save slot).
+  __sanitizer_start_switch_fiber(
+      reason == SwitchReason::kFinish ? nullptr : &t->asan_fake_stack_,
+      sched_stack_bottom_, sched_stack_size_);
+#endif
+  RVK_CHECK_MSG(swapcontext(&t->context_, &sched_context_) == 0,
+                "swapcontext to scheduler failed");
+#ifdef RVK_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(t->asan_fake_stack_, nullptr, nullptr);
+#endif
+  // Resumed: we are Running again (dispatch set the state).
+}
+
+void Scheduler::finish_current() {
+  switch_out(SwitchReason::kFinish);
+  RVK_UNREACHABLE("finished thread resumed");
+}
+
+void Scheduler::yield_now() {
+  current_->quantum_left_ = 0;
+  yield_point();
+}
+
+void Scheduler::sleep_for(std::uint64_t ticks) {
+  VThread* t = current_;
+  if (ticks == 0) {
+    yield_now();
+    return;
+  }
+  t->sleep_deadline_ = ticks_ + ticks;
+  t->state_ = ThreadState::kSleeping;
+  sleeping_.push_back(t);
+  switch_out(SwitchReason::kSleep);
+  check_revocation();
+}
+
+void Scheduler::join(VThread* target) {
+  RVK_CHECK_MSG(target != current_, "thread cannot join itself");
+  while (!target->finished()) {
+    block_current_on(target->joiners_);
+  }
+}
+
+void Scheduler::block_current_on(WaitQueue& q) {
+  VThread* t = current_;
+  t->interrupted = false;
+  t->timed_out = false;
+  t->state_ = ThreadState::kBlocked;
+  t->blocked_on_ = &q;
+  q.push(t);
+  ++t->stats_.blocks;
+  switch_out(SwitchReason::kBlock);
+  // Woken: the waker (or interrupt) already removed us from the queue.
+  RVK_DCHECK(t->blocked_on_ == nullptr);
+}
+
+bool Scheduler::block_current_on_for(WaitQueue& q, std::uint64_t ticks) {
+  VThread* t = current_;
+  t->sleep_deadline_ = ticks_ + ticks;
+  timed_blocked_.push_back(t);
+  block_current_on(q);
+  // Clean up the deadline registration if a real wakeup beat the timer.
+  auto it = std::find(timed_blocked_.begin(), timed_blocked_.end(), t);
+  if (it != timed_blocked_.end()) timed_blocked_.erase(it);
+  return !t->timed_out;
+}
+
+void Scheduler::make_runnable(VThread* t) {
+  t->blocked_on_ = nullptr;
+  t->state_ = ThreadState::kRunnable;
+  ready_.push_back(t);
+}
+
+VThread* Scheduler::wake_best(WaitQueue& q) {
+  VThread* t = q.pop_best();
+  if (t != nullptr) make_runnable(t);
+  return t;
+}
+
+void Scheduler::wake_all(WaitQueue& q) {
+  while (VThread* t = q.pop_best()) make_runnable(t);
+}
+
+bool Scheduler::wake_specific(WaitQueue& q, VThread* t) {
+  if (!q.remove(t)) return false;
+  make_runnable(t);
+  return true;
+}
+
+void Scheduler::interrupt(VThread* t) {
+  switch (t->state_) {
+    case ThreadState::kBlocked: {
+      RVK_CHECK(t->blocked_on_ != nullptr);
+      bool removed = t->blocked_on_->remove(t);
+      RVK_CHECK_MSG(removed, "blocked thread missing from its wait queue");
+      t->interrupted = true;
+      make_runnable(t);
+      break;
+    }
+    case ThreadState::kSleeping: {
+      auto it = std::find(sleeping_.begin(), sleeping_.end(), t);
+      RVK_CHECK_MSG(it != sleeping_.end(),
+                    "sleeping thread missing from sleep set");
+      sleeping_.erase(it);
+      t->interrupted = true;
+      make_runnable(t);
+      break;
+    }
+    default:
+      // Runnable/Running threads observe flags at their next yield point;
+      // nothing to do here.
+      break;
+  }
+}
+
+void Scheduler::deliver_revocation() {
+  VThread* t = current_;
+  RVK_CHECK_MSG(static_cast<bool>(deliverer_),
+                "revocation requested but no deliverer installed");
+  // Normally throws the engine's rollback exception; returns without
+  // throwing when the request became invalid (e.g. the target frame was
+  // pinned non-revocable after the request was posted).
+  deliverer_(t);
+  RVK_CHECK_MSG(!t->revoke_requested,
+                "deliverer returned with the request still pending");
+}
+
+void Scheduler::wake_due_sleepers() {
+  for (std::size_t i = 0; i < sleeping_.size();) {
+    VThread* t = sleeping_[i];
+    if (t->sleep_deadline_ <= ticks_) {
+      sleeping_.erase(sleeping_.begin() + static_cast<std::ptrdiff_t>(i));
+      t->state_ = ThreadState::kRunnable;
+      ready_.push_back(t);
+    } else {
+      ++i;
+    }
+  }
+  // Expire timed blocks: pull the thread out of its wait queue with
+  // timed_out set; block_current_on_for translates that into `false`.
+  for (std::size_t i = 0; i < timed_blocked_.size();) {
+    VThread* t = timed_blocked_[i];
+    if (t->state_ == ThreadState::kBlocked && t->sleep_deadline_ <= ticks_) {
+      timed_blocked_.erase(timed_blocked_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      RVK_CHECK(t->blocked_on_ != nullptr);
+      bool removed = t->blocked_on_->remove(t);
+      RVK_CHECK_MSG(removed, "timed-blocked thread missing from its queue");
+      t->timed_out = true;
+      make_runnable(t);
+    } else {
+      ++i;
+    }
+  }
+}
+
+std::uint64_t Scheduler::earliest_sleep_deadline() const {
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (VThread* t : sleeping_) best = std::min(best, t->sleep_deadline_);
+  for (VThread* t : timed_blocked_) {
+    if (t->state_ == ThreadState::kBlocked) {
+      best = std::min(best, t->sleep_deadline_);
+    }
+  }
+  return best;
+}
+
+void Scheduler::run() {
+  RVK_CHECK_MSG(detail::g_current_scheduler == nullptr,
+                "nested Scheduler::run on one OS thread");
+  detail::g_current_scheduler = this;
+  running_ = true;
+  stalled_ = false;
+
+  while (live_count_ > 0) {
+    wake_due_sleepers();
+    VThread* next = pick_next();
+    if (next == nullptr) {
+      const std::uint64_t deadline = earliest_sleep_deadline();
+      if (deadline != std::numeric_limits<std::uint64_t>::max()) {
+        // Idle: fast-forward the virtual clock to the next wakeup (a sleep
+        // or a timed block expiring).
+        ticks_ = std::max(ticks_, deadline);
+        continue;
+      }
+      // Every live thread is blocked.  Give the engine's stall hook (the
+      // deadlock breaker) a chance before declaring a stall.
+      if (stall_hook_ && stall_hook_()) continue;
+      stalled_ = true;
+      if (cfg_.on_stall == SchedulerConfig::OnStall::kAbort) {
+        std::fprintf(stderr, "Scheduler stalled: all threads blocked\n");
+        dump_threads();
+        std::abort();
+      }
+      break;
+    }
+    dispatch(next);
+    if (background_hook_ && cfg_.background_period != 0 &&
+        dispatches_ % cfg_.background_period == 0) {
+      background_hook_();
+    }
+  }
+
+  running_ = false;
+  detail::g_current_scheduler = nullptr;
+
+  if (cfg_.rethrow_uncaught) {
+    // Only the first captured exception can propagate; others (rare — they
+    // require several threads to die in one run) stay attached to their
+    // threads and surface on a subsequent run() call.
+    for (const auto& t : threads_) {
+      if (t->uncaught_) {
+        std::exception_ptr e = t->uncaught_;
+        t->uncaught_ = nullptr;
+        std::rethrow_exception(e);
+      }
+    }
+  }
+}
+
+VThread* Scheduler::thread_by_id(ThreadId id) const {
+  for (const auto& t : threads_) {
+    if (t->id() == id) return t.get();
+  }
+  return nullptr;
+}
+
+std::vector<VThread*> Scheduler::threads() const {
+  std::vector<VThread*> out;
+  out.reserve(threads_.size());
+  for (const auto& t : threads_) out.push_back(t.get());
+  return out;
+}
+
+void Scheduler::dump_threads() const {
+  static const char* const kStateNames[] = {"new",      "runnable", "running",
+                                            "blocked",  "sleeping", "finished"};
+  for (const auto& t : threads_) {
+    std::fprintf(stderr,
+                 "  thread %u '%s' prio=%d state=%s sync_depth=%d "
+                 "revoke_requested=%d\n",
+                 t->id(), t->name().c_str(), t->priority(),
+                 kStateNames[static_cast<int>(t->state())], t->sync_depth,
+                 t->revoke_requested ? 1 : 0);
+  }
+}
+
+}  // namespace rvk::rt

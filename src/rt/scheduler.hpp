@@ -1,0 +1,254 @@
+// Quasi-preemptive green-thread scheduler.
+//
+// Jikes RVM 2.2.1 — the paper's platform — schedules Java threads
+// round-robin over green-thread contexts, switching only at compiler-
+// inserted yield points (§3.1 note 4, §4: "The Jikes RVM does not include a
+// priority scheduler; threads are scheduled in a round-robin fashion").
+// This Scheduler reproduces that model exactly, and is the substrate every
+// other module runs on:
+//
+//  * One OS thread runs the scheduler plus all green threads; context
+//    switches happen only inside yield_point() / blocking calls, so any code
+//    sequence between yield points is atomic with respect to other threads.
+//    The revocation engine leans on this: undo-log replay and monitor
+//    release during a rollback are a single indivisible step, which is how
+//    the paper guarantees "partial results … are reverted before any of the
+//    locks are released" (§3.1.2).
+//  * The clock is virtual: one tick per yield point executed.  Timed sleeps
+//    (the benchmark's random arrival pauses) are measured in ticks, making
+//    every experiment replayable.
+//  * Revocation requests are *delivered* here: a flagged thread throws the
+//    engine-installed rollback exception from its next yield point, or is
+//    yanked from its wait queue (interrupt) if blocked.
+//
+// A strict-priority ready-queue mode is provided for the baseline ablations
+// (priority inheritance / ceiling need a priority scheduler to be
+// meaningful); the paper-faithful default is round-robin.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "rt/vthread.hpp"
+#include "rt/wait_queue.hpp"
+
+namespace rvk::rt {
+
+struct SchedulerConfig {
+  // Yield points per time slice.  Jikes RVM time slices are tens of
+  // milliseconds of real time; in virtual ticks the absolute value only
+  // scales how often round-robin rotation happens.
+  int quantum = 100;
+
+  // Usable stack bytes per green thread.
+  std::size_t stack_size = 256 * 1024;
+
+  // false: paper-faithful round-robin ready queue (priorities influence only
+  // monitor queues and revocation decisions).  true: strict-priority ready
+  // queue with round-robin within a level (for baseline ablations).
+  bool strict_priority = false;
+
+  // What run() does when no thread can make progress (all live threads
+  // blocked and the stall hook could not help): abort with a thread dump, or
+  // return with stalled() == true so a test can inspect the wreckage.
+  enum class OnStall { kAbort, kReturn };
+  OnStall on_stall = OnStall::kAbort;
+
+  // If nonzero, the background hook runs every `background_period`
+  // dispatches (the paper's "periodically in the background" detection
+  // alternative, §1.1).
+  std::uint64_t background_period = 0;
+
+  // Rethrow the first exception that escaped a thread body once run()
+  // finishes (surfaces test failures from inside green threads).
+  bool rethrow_uncaught = true;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerConfig cfg = {});
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // ---- Setup ----
+
+  // Creates a thread; it becomes runnable immediately.  Callable before
+  // run() and from inside green threads.
+  VThread* spawn(std::string name, int priority, std::function<void()> body);
+
+  // Runs until every thread finished, or until a stall (see OnStall).
+  // Callable again after it returns if new threads were spawned.
+  void run();
+
+  bool stalled() const { return stalled_; }
+
+  // ---- Identity ----
+
+  // Scheduler driving the current OS thread, or nullptr outside run().
+  static Scheduler* current();
+
+  VThread* current_thread() const { return current_; }
+
+  // ---- Virtual time ----
+
+  std::uint64_t now() const { return ticks_; }
+  std::uint64_t dispatches() const { return dispatches_; }
+
+  // ---- Green-thread operations (must be called from a green thread) ----
+
+  // The quasi-preemption point: advances the clock, rotates the processor on
+  // quantum expiry, and delivers pending revocation requests (may throw the
+  // engine's rollback exception).
+  void yield_point() {
+    ++ticks_;
+    VThread* t = current_;
+    RVK_DCHECK(t != nullptr);
+    ++t->stats_.yield_points;
+    if (--t->quantum_left_ <= 0) switch_out(SwitchReason::kYield);
+    if (current_->revoke_requested) [[unlikely]] deliver_revocation();
+  }
+
+  // Unconditionally gives up the processor (still a revocation point).
+  void yield_now();
+
+  // Sleeps for `ticks` virtual ticks.
+  void sleep_for(std::uint64_t ticks);
+
+  // Blocks until `t` finishes.
+  void join(VThread* t);
+
+  // Delivers a pending revocation on the current thread, if any (throws the
+  // engine-installed exception).  Monitors call this after every wakeup.
+  void check_revocation() {
+    if (current_->revoke_requested) [[unlikely]] deliver_revocation();
+  }
+
+  // ---- Blocking primitives (for monitor/) ----
+
+  // Parks the current thread on `q`; returns when some other thread wakes it
+  // (or interrupt() yanks it out — check current_thread()->interrupted).
+  void block_current_on(WaitQueue& q);
+
+  // Like block_current_on, but gives up after `ticks` virtual ticks.
+  // Returns true if woken by another thread, false on timeout (the thread
+  // was removed from `q`; current_thread()->timed_out is also set).
+  bool block_current_on_for(WaitQueue& q, std::uint64_t ticks);
+
+  // Marks a thread the caller popped off a WaitQueue as runnable again.
+  void make_runnable(VThread* t);
+
+  // Wakes the best-priority thread parked on `q`; returns it (nullptr if the
+  // queue was empty).
+  VThread* wake_best(WaitQueue& q);
+
+  // Wakes every thread parked on `q`.
+  void wake_all(WaitQueue& q);
+
+  // Wakes `t` if it is parked on `q`; returns false if it was not there.
+  bool wake_specific(WaitQueue& q, VThread* t);
+
+  // Asynchronous wakeup: if `t` is blocked or sleeping, removes it from its
+  // queue / the sleep set, sets t->interrupted, and makes it runnable.  Used
+  // to deliver revocation requests to blocked victims.
+  void interrupt(VThread* t);
+
+  // ---- Engine hooks ----
+
+  // Installed by core::Engine; must throw (it materializes the rollback
+  // exception for the current thread).
+  void set_revocation_deliverer(std::function<void(VThread*)> f) {
+    deliverer_ = std::move(f);
+  }
+
+  // Called when no thread is runnable or sleeping; returns true if it made
+  // progress possible (e.g. broke a deadlock by revocation).
+  void set_stall_hook(std::function<bool()> f) { stall_hook_ = std::move(f); }
+
+  // Periodic background scan (priority-inversion sweep), in scheduler
+  // context — it must not block.
+  void set_background_hook(std::function<void()> f) {
+    background_hook_ = std::move(f);
+  }
+
+  // Adjusts how often the background hook fires (0 disables it); lets the
+  // engine apply its own configuration after the scheduler was built.
+  void set_background_period(std::uint64_t dispatches) {
+    cfg_.background_period = dispatches;
+  }
+
+  // ---- Introspection ----
+
+  const SchedulerConfig& config() const { return cfg_; }
+  std::vector<VThread*> threads() const;
+
+  // Thread lookup by id (thin-lock inflation resolves header-word owner
+  // ids); nullptr if unknown.
+  VThread* thread_by_id(ThreadId id) const;
+  std::size_t live_count() const { return live_count_; }
+
+  // Writes a one-line-per-thread dump to stderr (stall diagnostics).
+  void dump_threads() const;
+
+ private:
+  friend class VThread;
+
+  VThread* pick_next();
+  void dispatch(VThread* t);
+  void switch_out(SwitchReason reason);
+  [[noreturn]] void finish_current();
+  void wake_due_sleepers();
+  std::uint64_t earliest_sleep_deadline() const;
+  void deliver_revocation();
+
+  SchedulerConfig cfg_;
+  std::vector<std::unique_ptr<VThread>> threads_;
+  std::deque<VThread*> ready_;
+  std::vector<VThread*> sleeping_;
+  std::vector<VThread*> timed_blocked_;  // blocked with a wake deadline
+  VThread* current_ = nullptr;
+  ucontext_t sched_context_{};
+  SwitchReason last_reason_ = SwitchReason::kYield;
+  // ASan fiber bookkeeping (populated only under AddressSanitizer).
+  void* asan_fake_stack_ = nullptr;
+  const void* sched_stack_bottom_ = nullptr;
+  std::size_t sched_stack_size_ = 0;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t dispatches_ = 0;
+  std::size_t live_count_ = 0;
+  bool running_ = false;
+  bool stalled_ = false;
+  ThreadId next_id_ = 1;
+
+  std::function<void(VThread*)> deliverer_;
+  std::function<bool()> stall_hook_;
+  std::function<void()> background_hook_;
+};
+
+// Fast accessors for barrier code: the thread currently executing on this OS
+// thread's scheduler, or nullptr when no scheduler is running (plain host
+// code, unit tests without a scheduler).
+namespace detail {
+extern thread_local Scheduler* g_current_scheduler;
+}  // namespace detail
+
+// Out-of-line on purpose: GCC may cache the computed TLS address across a
+// ucontext fiber switch when these are inlined into long-running frames,
+// which UBSan then flags (and which would break under any future M:N
+// mapping of schedulers to OS threads).
+Scheduler* current_scheduler();
+VThread* current_vthread();
+
+// Convenience wrappers used throughout workloads.
+inline void yield_point() {
+  Scheduler* s = detail::g_current_scheduler;
+  if (s != nullptr) s->yield_point();
+}
+
+}  // namespace rvk::rt

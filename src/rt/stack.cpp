@@ -1,0 +1,37 @@
+#include "rt/stack.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "common/check.hpp"
+
+namespace rvk::rt {
+
+namespace {
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+}  // namespace
+
+Stack::Stack(std::size_t size) {
+  const std::size_t ps = page_size();
+  usable_size_ = round_up(size, ps);
+  mapping_size_ = usable_size_ + ps;  // one guard page at the low end
+  mapping_ = ::mmap(nullptr, mapping_size_, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  RVK_CHECK_MSG(mapping_ != MAP_FAILED, "stack mmap failed");
+  RVK_CHECK_MSG(::mprotect(mapping_, ps, PROT_NONE) == 0,
+                "guard page mprotect failed");
+  usable_ = static_cast<char*>(mapping_) + ps;
+}
+
+Stack::~Stack() {
+  if (mapping_ != nullptr) ::munmap(mapping_, mapping_size_);
+}
+
+}  // namespace rvk::rt

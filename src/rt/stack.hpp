@@ -1,0 +1,33 @@
+// Execution stacks for green threads.
+//
+// Each rt::VThread runs on its own mmap-allocated stack with an inaccessible
+// guard page below it, so a runaway recursion faults immediately instead of
+// silently corrupting a neighbouring thread's stack.
+#pragma once
+
+#include <cstddef>
+
+namespace rvk::rt {
+
+class Stack {
+ public:
+  // Allocates `size` usable bytes plus one guard page.  `size` is rounded up
+  // to the page size.
+  explicit Stack(std::size_t size);
+  ~Stack();
+
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  // Lowest usable address (just above the guard page).
+  void* base() const { return usable_; }
+  std::size_t size() const { return usable_size_; }
+
+ private:
+  void* mapping_ = nullptr;      // includes guard page
+  std::size_t mapping_size_ = 0;
+  void* usable_ = nullptr;
+  std::size_t usable_size_ = 0;
+};
+
+}  // namespace rvk::rt

@@ -1,0 +1,158 @@
+// Green-thread control block.
+//
+// The paper's platform, Jikes RVM 2.2.1, multiplexes Java threads onto
+// virtual processors with *quasi-preemptive* scheduling: "thread
+// context-switches can happen only at pre-specified yield points inserted by
+// the compiler" (§3.1, footnote 4).  VThread reproduces that thread model on
+// ucontext fibers: a thread runs until it executes a yield point, which may
+// switch it out (quantum expiry) and is also where pending revocation
+// requests are delivered ("the scheduler … triggers rollback of the low
+// priority thread at the next yield point", §4).
+//
+// VThread deliberately carries the handful of fields the upper layers need
+// on their fastest paths — `sync_depth` is the write-barrier fast-path test
+// ("all compiled code needs at least a fast-path test on every non-local
+// update to check if the thread is executing within a synchronized section",
+// §1.1) and `revoke_requested` is the yield-point test.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "log/dedup.hpp"
+#include "log/undo_log.hpp"
+#include "rt/stack.hpp"
+#include "rt/wait_queue.hpp"
+
+namespace rvk::rt {
+
+class Scheduler;
+
+using ThreadId = std::uint32_t;
+
+// Java priority range; only the relative order matters to the runtime.
+inline constexpr int kMinPriority = 1;
+inline constexpr int kNormPriority = 5;
+inline constexpr int kMaxPriority = 10;
+
+enum class ThreadState : std::uint8_t {
+  kNew,       // spawned, not yet dispatched
+  kRunnable,  // in the ready queue
+  kRunning,   // the single currently executing thread
+  kBlocked,   // parked in some WaitQueue
+  kSleeping,  // timed sleep on the virtual clock
+  kFinished,  // body returned (or died with an exception)
+};
+
+// Why a running thread returned control to the scheduler.
+enum class SwitchReason : std::uint8_t {
+  kYield,    // quantum expiry or voluntary yield
+  kBlock,    // parked on a wait queue
+  kSleep,    // timed sleep
+  kFinish,   // thread body completed
+};
+
+struct ThreadStats {
+  std::uint64_t dispatches = 0;    // times scheduled onto the processor
+  std::uint64_t yield_points = 0;  // yield points executed
+  std::uint64_t blocks = 0;        // times parked on a queue
+};
+
+class VThread {
+ public:
+  VThread(Scheduler* sched, ThreadId id, std::string name, int priority,
+          std::function<void()> body, std::size_t stack_size);
+
+  VThread(const VThread&) = delete;
+  VThread& operator=(const VThread&) = delete;
+
+  ThreadId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  int priority() const { return priority_; }
+  void set_priority(int p) { priority_ = p; }
+  ThreadState state() const { return state_; }
+  bool finished() const { return state_ == ThreadState::kFinished; }
+  Scheduler* scheduler() const { return sched_; }
+  const ThreadStats& stats() const { return stats_; }
+
+  // ---- Synchronized-section support (used by heap/ barriers and core/) ----
+
+  // Depth of nested synchronized sections; >0 enables the write-barrier
+  // slow path.
+  int sync_depth = 0;
+
+  // Per-thread sequential undo log (paper §3.1.2).
+  log::UndoLog undo_log;
+
+  // Redundant-logging filter (extension; used only when the engine enables
+  // dedup_logging — see log/dedup.hpp).
+  log::DedupTable dedup;
+
+  // Revocation request posted by another thread; examined at every yield
+  // point and on every wakeup from blocking.  `revoke_target_frame` names the
+  // monitor frame (core::Frame id) whose synchronized section must restart;
+  // `revoke_is_deadlock` marks requests that broke a deadlock cycle (the
+  // victim backs off before retrying — livelock guard).
+  bool revoke_requested = false;
+  bool revoke_is_deadlock = false;
+  std::uint64_t revoke_target_frame = 0;
+
+  // True while unwinding/undoing a revoked section; lets RAII cleanups
+  // (rvk::Cleanup) suppress their actions, reproducing the modified
+  // exception dispatch that skips intervening handlers (paper §3.1.2).
+  bool in_rollback = false;
+
+  // Incremented whenever the thread's outermost synchronized frame commits
+  // or aborts.  heap/ stamps this epoch into per-object writer metadata so
+  // stale metadata can be ignored without eager clearing (see jmm/).
+  std::uint32_t section_epoch = 1;
+
+  // Frame id of the innermost active synchronized frame (0 when none);
+  // maintained by core::Engine, stamped into per-object writer metadata by
+  // the write barrier so jmm/ can name which frames a foreign read pins.
+  std::uint64_t current_frame_id = 0;
+
+  // Opaque pointer to the engine-side per-thread state (core::ThreadSync).
+  void* engine_state = nullptr;
+
+  // Set when Scheduler::interrupt() yanked this thread out of a wait queue
+  // or a sleep; the blocking primitive that parked it must re-check its
+  // condition (and pending revocations) instead of assuming a real wakeup.
+  bool interrupted = false;
+
+  // Set when a timed block (block_current_on_for) expired before a wakeup.
+  bool timed_out = false;
+
+  // Internal: context-trampoline target; runs the user body, capturing any
+  // escaping exception.  Not for direct use.
+  void entry();
+
+ private:
+  friend class Scheduler;
+
+  Scheduler* sched_;
+  ThreadId id_;
+  std::string name_;
+  int priority_;
+  ThreadState state_ = ThreadState::kNew;
+
+  std::function<void()> body_;
+  std::unique_ptr<Stack> stack_;
+  ucontext_t context_{};
+
+  int quantum_left_ = 0;
+  std::uint64_t sleep_deadline_ = 0;
+  void* asan_fake_stack_ = nullptr;  // ASan fiber bookkeeping (see scheduler.cpp)
+  WaitQueue* blocked_on_ = nullptr;  // queue currently parked in, if any
+  WaitQueue joiners_;                // threads join()ing on this one
+  std::exception_ptr uncaught_;
+
+  ThreadStats stats_;
+};
+
+}  // namespace rvk::rt

@@ -1,0 +1,68 @@
+// Prioritized wait queues.
+//
+// Paper §4: "we implemented prioritized monitor queues … When a thread
+// releases a monitor, another thread is scheduled from the queue. If it is a
+// high-priority thread, it is allowed to acquire the monitor. If it is a
+// low-priority thread, it is allowed to run only if there are no other
+// waiting high-priority threads."
+//
+// WaitQueue orders blocked threads by (priority descending, arrival order
+// ascending), i.e. strict priority with FIFO fairness within a priority
+// level.  It lives in rt/ rather than monitor/ because the scheduler must be
+// able to yank an arbitrary blocked thread out of whatever queue it sits in
+// when a revocation request targets it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rvk::rt {
+
+class VThread;
+
+class WaitQueue {
+ public:
+  WaitQueue() = default;
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  // Appends `t`.  Arrival order is remembered for FIFO-within-priority.
+  void push(VThread* t);
+
+  // Removes and returns the best thread: highest priority, earliest arrival
+  // among equals.  Returns nullptr when empty.
+  VThread* pop_best();
+
+  // Returns the best thread without removing it (nullptr when empty).
+  VThread* peek_best() const;
+
+  // Removes a specific thread (used by Scheduler::interrupt).  Returns true
+  // if `t` was present.
+  bool remove(VThread* t);
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+  // True if any queued thread has priority strictly greater than `prio`.
+  bool has_waiter_above(int prio) const;
+
+  // Visits queued threads in arbitrary order (diagnostics, deadlock scans).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const Item& it : items_) f(it.thread);
+  }
+
+ private:
+  struct Item {
+    VThread* thread;
+    std::uint64_t seq;
+  };
+
+  // Index of the best item, or npos when empty.
+  std::size_t best_index() const;
+
+  std::vector<Item> items_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace rvk::rt

@@ -1,0 +1,342 @@
+#include "vm/interpreter.hpp"
+
+#include "rt/scheduler.hpp"
+
+namespace rvk::vm {
+
+namespace {
+
+// A method activation (JVM frame): its own operand stack and locals.
+struct CallFrame {
+  const Program* prog;
+  std::size_t pc = 0;
+  std::vector<Word> stack;
+  std::vector<Word> locals;
+};
+
+// §3.1.1: the state saved "just before each rollback-scope's monitorenter"
+// so a rollback can restore it and transfer control back.  `call_depth`
+// lets a rollback discard method activations entered after the snapshot —
+// with BCEL the rollback exception unwinds the Java call stack natively;
+// here we truncate the interpreter's call stack explicitly.
+struct MonFrame {
+  std::size_t enter_pc;
+  std::size_t call_depth;  // calls.size() at monitorenter
+  std::uint64_t frame_id;
+  std::vector<Word> saved_stack;
+  std::vector<Word> saved_locals;
+  int retries = 0;
+};
+
+[[noreturn]] void vm_trap(const char* what, std::size_t pc) {
+  ::rvk::detail::check_failed("vm", static_cast<int>(pc), what,
+                              "VM trap at pc shown as line");
+}
+
+}  // namespace
+
+VmResult execute(Machine& machine, const Program& program) {
+  rt::Scheduler* sched = rt::current_scheduler();
+  RVK_CHECK_MSG(sched != nullptr && sched->current_thread() != nullptr,
+                "vm::execute must run on a green thread");
+  core::Engine& engine = *machine.engine;
+
+  VmResult result;
+  std::vector<CallFrame> calls;
+  calls.push_back(CallFrame{&program, 0, {}, std::vector<Word>(program.locals, 0)});
+  std::vector<MonFrame> frames;
+  int pending_retries = 0;  // budget seed for the next monitorenter (set by
+                            // a rollback restoring control to it)
+
+  // A rollback's completion (finish_rollback: backoff sleep etc.) must run
+  // INSIDE the try block: the backoff can itself be interrupted by a new
+  // revocation targeting an enclosing frame, which this loop must catch.
+  bool finish_pending = false;
+  core::RollbackException finish_e(0, false);
+  int finish_retries = 0;
+
+  auto cur = [&]() -> CallFrame& { return calls.back(); };
+  auto pop = [&]() -> Word {
+    CallFrame& f = cur();
+    if (f.stack.empty()) vm_trap("operand stack underflow", f.pc);
+    Word v = f.stack.back();
+    f.stack.pop_back();
+    return v;
+  };
+  auto push = [&](Word v) { cur().stack.push_back(v); };
+
+  // Dispatches a USER exception: searches the current method's table, then
+  // propagates to callers (popping activations; monitor frames entered in a
+  // popped activation are exited — Java abrupt completion, updates stand).
+  // Returns false if the exception escapes the root method.
+  auto dispatch_user = [&](std::int64_t tag) -> bool {
+    for (;;) {
+      CallFrame& f = cur();
+      for (const ExceptionEntry& h : f.prog->handlers) {
+        if (f.pc < h.start_pc || f.pc >= h.end_pc) continue;
+        if (h.tag != -1 && h.tag != tag) continue;
+        RVK_CHECK_MSG(h.monitor_depth <= frames.size(),
+                      "handler monitor_depth deeper than live frames");
+        while (frames.size() > h.monitor_depth) {
+          engine.section_commit();
+          frames.pop_back();
+        }
+        f.stack.clear();
+        f.stack.push_back(tag);  // the handler receives the exception
+        f.pc = h.handler_pc;
+        return true;
+      }
+      // No handler in this method: release monitors entered here, then
+      // propagate to the caller.
+      while (!frames.empty() && frames.back().call_depth >= calls.size()) {
+        engine.section_commit();
+        frames.pop_back();
+      }
+      if (calls.size() == 1) return false;  // escapes the root method
+      calls.pop_back();
+    }
+  };
+
+  for (;;) {
+    try {
+      if (finish_pending) {
+        finish_pending = false;
+        engine.finish_rollback(finish_e, finish_retries);
+      }
+      for (;;) {
+        // Every instruction boundary is a yield point; revocations are
+        // delivered there as RollbackException.
+        sched->yield_point();
+        CallFrame& f = cur();
+        if (f.pc >= f.prog->code.size()) vm_trap("pc out of range", f.pc);
+        const Instr& in = f.prog->code[f.pc];
+        ++result.instructions;
+        switch (in.op) {
+          case Op::kPush:
+            push(in.a);
+            ++f.pc;
+            break;
+          case Op::kPop:
+            (void)pop();
+            ++f.pc;
+            break;
+          case Op::kDup: {
+            Word v = pop();
+            push(v);
+            push(v);
+            ++f.pc;
+            break;
+          }
+          case Op::kAdd: {
+            Word b = pop(), a = pop();
+            push(a + b);
+            ++f.pc;
+            break;
+          }
+          case Op::kSub: {
+            Word b = pop(), a = pop();
+            push(a - b);
+            ++f.pc;
+            break;
+          }
+          case Op::kMul: {
+            Word b = pop(), a = pop();
+            push(a * b);
+            ++f.pc;
+            break;
+          }
+          case Op::kCmpLt: {
+            Word b = pop(), a = pop();
+            push(a < b ? 1 : 0);
+            ++f.pc;
+            break;
+          }
+          case Op::kCmpEq: {
+            Word b = pop(), a = pop();
+            push(a == b ? 1 : 0);
+            ++f.pc;
+            break;
+          }
+          case Op::kLoad:
+            push(f.locals.at(static_cast<std::size_t>(in.a)));
+            ++f.pc;
+            break;
+          case Op::kStore:
+            f.locals.at(static_cast<std::size_t>(in.a)) = pop();
+            ++f.pc;
+            break;
+          case Op::kGetField:
+            push(static_cast<Word>(
+                machine.objects.at(static_cast<std::size_t>(in.a))
+                    ->get_word(static_cast<std::size_t>(in.b))));
+            ++f.pc;
+            break;
+          case Op::kPutField:
+            machine.objects.at(static_cast<std::size_t>(in.a))
+                ->set_word(static_cast<std::size_t>(in.b),
+                           static_cast<std::uint64_t>(pop()));
+            ++f.pc;
+            break;
+          case Op::kGetElem: {
+            Word idx = pop();
+            push(static_cast<Word>(
+                machine.arrays.at(static_cast<std::size_t>(in.a))
+                    ->get(static_cast<std::size_t>(idx))));
+            ++f.pc;
+            break;
+          }
+          case Op::kPutElem: {
+            Word val = pop();
+            Word idx = pop();
+            machine.arrays.at(static_cast<std::size_t>(in.a))
+                ->set(static_cast<std::size_t>(idx),
+                      static_cast<std::uint64_t>(val));
+            ++f.pc;
+            break;
+          }
+          case Op::kGetStatic:
+            push(static_cast<Word>(machine.statics->get_word(
+                static_cast<std::uint32_t>(in.a))));
+            ++f.pc;
+            break;
+          case Op::kPutStatic:
+            machine.statics->set_word(static_cast<std::uint32_t>(in.a),
+                                      static_cast<std::uint64_t>(pop()));
+            ++f.pc;
+            break;
+
+          case Op::kMonitorEnter: {
+            // §3.1.1: save the operand stack (and locals) BEFORE entering,
+            // so a future rollback can restore them and re-execute.
+            MonFrame mf;
+            mf.enter_pc = f.pc;
+            mf.call_depth = calls.size();
+            mf.saved_stack = f.stack;
+            mf.saved_locals = f.locals;
+            mf.retries = pending_retries;
+            pending_retries = 0;
+            mf.frame_id = engine.section_enter(
+                *machine.monitors.at(static_cast<std::size_t>(in.a)),
+                mf.retries);
+            frames.push_back(std::move(mf));
+            ++cur().pc;
+            break;
+          }
+          case Op::kMonitorExit:
+            if (frames.empty()) vm_trap("monitorexit without frame", f.pc);
+            engine.section_commit();
+            frames.pop_back();
+            ++f.pc;
+            break;
+          case Op::kWait:
+            machine.monitors.at(static_cast<std::size_t>(in.a))->wait();
+            ++f.pc;
+            break;
+          case Op::kNotify:
+            machine.monitors.at(static_cast<std::size_t>(in.a))->notify_one();
+            ++f.pc;
+            break;
+          case Op::kNotifyAll:
+            machine.monitors.at(static_cast<std::size_t>(in.a))->notify_all();
+            ++f.pc;
+            break;
+
+          case Op::kJump:
+            f.pc = static_cast<std::size_t>(in.a);
+            break;
+          case Op::kJz:
+            f.pc = (pop() == 0) ? static_cast<std::size_t>(in.a) : f.pc + 1;
+            break;
+          case Op::kThrow: {
+            if (!dispatch_user(in.a)) {
+              result.escaped_exception = in.a;
+              result.stack = cur().stack;
+              result.locals = cur().locals;
+              return result;
+            }
+            break;
+          }
+
+          case Op::kCall: {
+            const Program* callee =
+                machine.programs.at(static_cast<std::size_t>(in.a));
+            const auto nargs = static_cast<std::size_t>(in.b);
+            CallFrame nf{callee, 0, {}, std::vector<Word>(callee->locals, 0)};
+            RVK_CHECK_MSG(nargs <= nf.locals.size(),
+                          "more call arguments than callee locals");
+            for (std::size_t i = nargs; i > 0; --i) nf.locals[i - 1] = pop();
+            // The caller's pc stays AT the call site until the callee
+            // returns (JVM-style): user exceptions propagating out of the
+            // callee must match handler ranges covering the call site.
+            calls.push_back(std::move(nf));
+            break;
+          }
+          case Op::kRet: {
+            if (calls.size() == 1) vm_trap("ret from root method", f.pc);
+            const Word rv = f.stack.empty() ? 0 : f.stack.back();
+            calls.pop_back();
+            push(rv);
+            ++cur().pc;  // step past the call site
+            break;
+          }
+
+          case Op::kYield:
+            sched->yield_point();
+            ++f.pc;
+            break;
+          case Op::kSleep:
+            sched->sleep_for(static_cast<std::uint64_t>(in.a));
+            ++f.pc;
+            break;
+          case Op::kNative:
+            engine.pin_current_frames(core::PinReason::kNativeCall);
+            ++f.pc;
+            break;
+
+          case Op::kHalt:
+            RVK_CHECK_MSG(frames.empty(), "halt with monitors held");
+            RVK_CHECK_MSG(calls.size() == 1, "halt outside the root method");
+            result.halted = true;
+            result.stack = cur().stack;
+            result.locals = cur().locals;
+            return result;
+        }
+      }
+    } catch (core::RollbackException& e) {
+      // The injected rollback handlers of §3.1.1, iteratively: every frame
+      // that is NOT the target aborts and conceptually re-throws outward...
+      while (!frames.empty() && frames.back().frame_id != e.target_frame()) {
+        engine.section_abort();
+        frames.pop_back();
+      }
+      if (frames.empty()) {
+        // The target is an ENCLOSING section entered outside this program
+        // (execute() was called from within an engine.synchronized body):
+        // every VM frame has aborted; propagate to the enclosing scope's
+        // handler, exactly like an inner BCEL handler re-throwing outward.
+        throw;
+      }
+      // ... and the target frame aborts, discards method activations
+      // entered after its monitorenter, restores the saved operand stack
+      // and locals, and transfers control back to the monitorenter.
+      MonFrame target = std::move(frames.back());
+      frames.pop_back();
+      engine.section_abort();
+      ++target.retries;
+      ++result.rollbacks;
+      RVK_CHECK_MSG(target.call_depth <= calls.size(),
+                    "rollback target above the live call stack");
+      calls.resize(target.call_depth);
+      CallFrame& f = cur();
+      f.stack = std::move(target.saved_stack);
+      f.locals = std::move(target.saved_locals);
+      f.pc = target.enter_pc;
+      pending_retries = target.retries;
+      finish_pending = true;  // run finish_rollback inside the next try
+      finish_e = e;
+      finish_retries = target.retries;
+    }
+  }
+}
+
+}  // namespace rvk::vm

@@ -1,0 +1,51 @@
+// The interpreter: §3.1.1's bytecode transformation, executed for real.
+//
+//  * Every instruction boundary is a yield point — pending revocations are
+//    delivered there ("interrupt execution of synchronized sections at
+//    arbitrary points", §3).
+//  * kMonitorEnter saves the operand stack and locals, then enters the
+//    speculative section; kMonitorExit commits it.
+//  * A RollbackException unwinds the VM's monitor frames exactly like the
+//    injected BCEL handlers: each frame checks whether it is the rollback
+//    target; inner frames abort-and-release and "re-throw" outward; the
+//    target frame aborts, RESTORES the saved operand stack and locals, and
+//    transfers control back to its monitorenter for re-execution.
+//  * User exceptions (kThrow) use the program's JVM-style exception table —
+//    and, faithfully to §3.1.2's modified dispatch, that table is never
+//    consulted for rollbacks: a revoked section runs no user handlers.
+#pragma once
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "heap/heap.hpp"
+#include "heap/statics.hpp"
+#include "vm/program.hpp"
+
+namespace rvk::vm {
+
+// The shared world a program executes against.  Indices in instructions
+// refer to these tables.
+struct Machine {
+  core::Engine* engine = nullptr;
+  std::vector<heap::HeapObject*> objects;
+  std::vector<heap::HeapArray<std::uint64_t>*> arrays;
+  std::vector<core::RevocableMonitor*> monitors;
+  std::vector<const Program*> programs;  // kCall targets (owned by caller)
+  heap::StaticsTable* statics = nullptr;
+};
+
+struct VmResult {
+  bool halted = false;
+  std::int64_t escaped_exception = -1;  // user exception that left main
+  std::uint64_t instructions = 0;
+  std::uint64_t rollbacks = 0;          // sections re-executed by this thread
+  std::vector<Word> stack;              // operand stack at halt
+  std::vector<Word> locals;
+};
+
+// Executes `program` on the CURRENT green thread (call from inside a
+// spawned thread).  Deterministic given the machine and scheduler state.
+VmResult execute(Machine& machine, const Program& program);
+
+}  // namespace rvk::vm

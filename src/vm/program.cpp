@@ -1,0 +1,53 @@
+#include "vm/program.hpp"
+
+#include <sstream>
+
+namespace rvk::vm {
+
+Program Builder::build() {
+  for (const auto& [at, label] : fixups_) {
+    RVK_CHECK_MSG(labels_[label] != kUnbound, "jump to unbound label");
+    code_[at].a = labels_[label];
+  }
+  Program p;
+  p.code = code_;
+  p.locals = locals_;
+  for (const PendingHandler& h : pending_handlers_) {
+    RVK_CHECK_MSG(labels_[h.from] != kUnbound && labels_[h.to] != kUnbound &&
+                      labels_[h.handler] != kUnbound,
+                  "exception handler references unbound label");
+    p.handlers.push_back(ExceptionEntry{
+        static_cast<std::size_t>(labels_[h.from]),
+        static_cast<std::size_t>(labels_[h.to]),
+        static_cast<std::size_t>(labels_[h.handler]), h.tag,
+        h.monitor_depth});
+  }
+  return p;
+}
+
+std::string to_string(const Instr& instr) {
+  static const char* const kNames[] = {
+      "push",   "pop",      "dup",       "add",       "sub",
+      "mul",    "cmplt",    "cmpeq",     "load",      "store",
+      "getf",   "putf",     "getelem",   "putelem",   "getstatic",
+      "putstatic", "monitorenter", "monitorexit", "wait", "notify",
+      "notifyall", "jump",  "jz",        "throw",     "call",
+      "ret",    "yield",    "sleep",     "native",    "halt"};
+  std::ostringstream os;
+  os << kNames[static_cast<int>(instr.op)] << " " << instr.a << " " << instr.b;
+  return os.str();
+}
+
+Program make_synchronized_method(std::int64_t body_program,
+                                 std::int64_t monitor, std::int64_t nargs) {
+  Builder b;
+  b.with_locals(static_cast<std::size_t>(nargs > 0 ? nargs : 1));
+  b.monitor_enter(monitor);
+  for (std::int64_t i = 0; i < nargs; ++i) b.load(i);  // forward arguments
+  b.call(body_program, nargs);
+  b.monitor_exit();
+  b.ret();
+  return b.build();
+}
+
+}  // namespace rvk::vm

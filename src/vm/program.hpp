@@ -1,0 +1,217 @@
+// A miniature stack-machine program representation (JVM-bytecode-shaped).
+//
+// The paper's implementation works at the bytecode level (§3.1.1): BCEL
+// rewrites synchronized methods into monitorenter/monitorexit blocks, wraps
+// each in an exception scope catching the rollback exception, and injects
+// code "to save the values on the operand stack just before each
+// rollback-scope's monitorenter opcode, and to restore the stack state in
+// the handler before transferring control back to the monitorenter".
+//
+// The C++-level `Engine::synchronized(lambda)` API reproduces the semantics
+// of that transformation but not its mechanics.  This module provides the
+// mechanics: programs are instruction vectors with JVM-style exception
+// tables, executed by vm::Interpreter, where monitorenter really does save
+// the operand stack and a rollback really does transfer `pc` back to the
+// monitorenter with the saved stack restored.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace rvk::vm {
+
+using Word = std::int64_t;
+
+enum class Op : std::uint8_t {
+  // Stack / arithmetic.
+  kPush,     // push immediate a
+  kPop,      // discard top
+  kDup,      // duplicate top
+  kAdd,      // pop b, pop a, push a+b
+  kSub,      // pop b, pop a, push a-b
+  kMul,      // pop b, pop a, push a*b
+  kCmpLt,    // pop b, pop a, push a<b
+  kCmpEq,    // pop b, pop a, push a==b
+
+  // Locals (the "method parameters and local variables" of §3.1.1).
+  kLoad,     // push locals[a]
+  kStore,    // locals[a] = pop
+
+  // Shared heap (barrier-instrumented; these are the putfield/Xastore/
+  // putstatic stores of §3.1.2).
+  kGetField,   // push objects[a].slot(b)
+  kPutField,   // objects[a].slot(b) = pop
+  kGetElem,    // idx = pop; push arrays[a][idx]
+  kPutElem,    // val = pop; idx = pop; arrays[a][idx] = val
+  kGetStatic,  // push statics[a]
+  kPutStatic,  // statics[a] = pop
+
+  // Synchronization.
+  kMonitorEnter,  // enter monitors[a] (speculative section begins)
+  kMonitorExit,   // exit the innermost section (commit)
+  kWait,          // monitors[a].wait() — pins enclosing sections (§2.2)
+  kNotify,        // monitors[a].notify()
+  kNotifyAll,     // monitors[a].notifyAll()
+
+  // Control flow.
+  kJump,   // pc = a
+  kJz,     // if (pop == 0) pc = a
+  kThrow,  // throw user exception with tag a (dispatched via the table)
+
+  // Methods.
+  kCall,   // invoke machine.programs[a] with b arguments (popped into the
+           // callee's locals 0..b-1, last argument on top of the stack)
+  kRet,    // return to the caller, pushing the callee's top-of-stack (or 0)
+
+  // Runtime interaction.
+  kYield,   // an extra yield point (every instruction already is one)
+  kSleep,   // sleep a virtual ticks
+  kNative,  // a native call: pins the enclosing sections (§2.2)
+
+  kHalt,
+};
+
+struct Instr {
+  Op op;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
+
+// JVM-style exception-table entry for USER exceptions (kThrow).  The first
+// matching entry in table order wins (list inner scopes first).  On
+// dispatch, monitor frames deeper than `monitor_depth` are exited
+// (Java abrupt completion: monitors released, updates stand), the operand
+// stack is cleared, the tag is pushed, and control transfers to
+// `handler_pc`.
+//
+// The ROLLBACK exception never consults this table: the paper's modified
+// dispatch "ignores all handlers (including finally blocks) that do not
+// explicitly catch the rollback exception" (§3.1.2) — in this VM the
+// rollback scopes injected around each synchronized section are implicit in
+// the interpreter, exactly like the injected BCEL handlers.
+struct ExceptionEntry {
+  std::size_t start_pc;
+  std::size_t end_pc;    // exclusive
+  std::size_t handler_pc;
+  std::int64_t tag;      // -1 = catch-all
+  std::size_t monitor_depth;  // VM monitor frames live at the handler
+};
+
+struct Program {
+  std::vector<Instr> code;
+  std::vector<ExceptionEntry> handlers;
+  std::size_t locals = 8;
+};
+
+// Fluent program assembler with label patching.
+class Builder {
+ public:
+  using LabelId = std::size_t;
+
+  LabelId label() {
+    labels_.push_back(kUnbound);
+    return labels_.size() - 1;
+  }
+
+  Builder& bind(LabelId l) {
+    RVK_CHECK_MSG(labels_[l] == kUnbound, "label bound twice");
+    labels_[l] = static_cast<std::int64_t>(code_.size());
+    return *this;
+  }
+
+  Builder& emit(Op op, std::int64_t a = 0, std::int64_t b = 0) {
+    code_.push_back(Instr{op, a, b});
+    return *this;
+  }
+
+  Builder& push(Word v) { return emit(Op::kPush, v); }
+  Builder& pop() { return emit(Op::kPop); }
+  Builder& dup() { return emit(Op::kDup); }
+  Builder& add() { return emit(Op::kAdd); }
+  Builder& sub() { return emit(Op::kSub); }
+  Builder& mul() { return emit(Op::kMul); }
+  Builder& cmp_lt() { return emit(Op::kCmpLt); }
+  Builder& cmp_eq() { return emit(Op::kCmpEq); }
+  Builder& load(std::int64_t local) { return emit(Op::kLoad, local); }
+  Builder& store(std::int64_t local) { return emit(Op::kStore, local); }
+  Builder& get_field(std::int64_t obj, std::int64_t slot) {
+    return emit(Op::kGetField, obj, slot);
+  }
+  Builder& put_field(std::int64_t obj, std::int64_t slot) {
+    return emit(Op::kPutField, obj, slot);
+  }
+  Builder& get_elem(std::int64_t arr) { return emit(Op::kGetElem, arr); }
+  Builder& put_elem(std::int64_t arr) { return emit(Op::kPutElem, arr); }
+  Builder& get_static(std::int64_t off) { return emit(Op::kGetStatic, off); }
+  Builder& put_static(std::int64_t off) { return emit(Op::kPutStatic, off); }
+  Builder& monitor_enter(std::int64_t m) { return emit(Op::kMonitorEnter, m); }
+  Builder& monitor_exit() { return emit(Op::kMonitorExit); }
+  Builder& wait_on(std::int64_t m) { return emit(Op::kWait, m); }
+  Builder& notify(std::int64_t m) { return emit(Op::kNotify, m); }
+  Builder& notify_all(std::int64_t m) { return emit(Op::kNotifyAll, m); }
+  Builder& jump(LabelId l) { return emit_label(Op::kJump, l); }
+  Builder& jz(LabelId l) { return emit_label(Op::kJz, l); }
+  Builder& call(std::int64_t prog, std::int64_t nargs) {
+    return emit(Op::kCall, prog, nargs);
+  }
+  Builder& ret() { return emit(Op::kRet); }
+  Builder& throw_user(std::int64_t tag) { return emit(Op::kThrow, tag); }
+  Builder& yield() { return emit(Op::kYield); }
+  Builder& sleep(std::int64_t ticks) { return emit(Op::kSleep, ticks); }
+  Builder& native() { return emit(Op::kNative); }
+  Builder& halt() { return emit(Op::kHalt); }
+
+  // Registers a user-exception handler: [from, to) → handler, for `tag`
+  // (-1 = any), with `monitor_depth` monitor frames live at the handler.
+  Builder& on_exception(LabelId from, LabelId to, LabelId handler,
+                        std::int64_t tag = -1, std::size_t monitor_depth = 0) {
+    pending_handlers_.push_back(
+        PendingHandler{from, to, handler, tag, monitor_depth});
+    return *this;
+  }
+
+  Builder& with_locals(std::size_t n) {
+    locals_ = n;
+    return *this;
+  }
+
+  Program build();
+
+ private:
+  static constexpr std::int64_t kUnbound = -1;
+
+  struct PendingHandler {
+    LabelId from, to, handler;
+    std::int64_t tag;
+    std::size_t monitor_depth;
+  };
+
+  Builder& emit_label(Op op, LabelId l) {
+    fixups_.push_back({code_.size(), l});
+    return emit(op, kUnbound);
+  }
+
+  std::vector<Instr> code_;
+  std::vector<std::int64_t> labels_;
+  std::vector<std::pair<std::size_t, LabelId>> fixups_;
+  std::vector<PendingHandler> pending_handlers_;
+  std::size_t locals_ = 8;
+};
+
+// One-line disassembly, for diagnostics and tests.
+std::string to_string(const Instr& instr);
+
+// §3.1.1's synchronized-method transformation: "we transform synchronized
+// methods into non-synchronized equivalents whose entire body is enclosed
+// in a synchronized block.  For each synchronized method we create a
+// non-synchronized wrapper with a signature identical to the original
+// method" — returns that wrapper: monitorenter(monitor); call(body, nargs);
+// monitorexit; ret.  The wrapper forwards its own locals 0..nargs-1 as the
+// call arguments (the identical signature).
+Program make_synchronized_method(std::int64_t body_program,
+                                 std::int64_t monitor, std::int64_t nargs);
+
+}  // namespace rvk::vm

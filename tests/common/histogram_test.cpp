@@ -1,0 +1,88 @@
+// Histogram: logarithmic bucketing and percentile extraction.
+#include <gtest/gtest.h>
+
+#include "common/histogram.hpp"
+
+namespace rvk {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+  // ~5% bucket precision.
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 42.0, 42.0 * 0.07 + 1);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.percentile(1.0), 15u);
+  EXPECT_EQ(h.percentile(0.5), 7u);
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.record(v);
+  const auto p50 = h.percentile(0.50);
+  const auto p95 = h.percentile(0.95);
+  const auto p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max());
+  EXPECT_NEAR(static_cast<double>(p50), 5000.0, 5000.0 * 0.07);
+  EXPECT_NEAR(static_cast<double>(p99), 9900.0, 9900.0 * 0.07);
+}
+
+TEST(HistogramTest, SkewedDistribution) {
+  Histogram h;
+  for (int i = 0; i < 990; ++i) h.record(10);
+  for (int i = 0; i < 10; ++i) h.record(100000);
+  EXPECT_EQ(h.percentile(0.5), 10u);
+  EXPECT_GT(h.percentile(0.995), 90000u);
+  EXPECT_EQ(h.max(), 100000u);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(5);
+  for (int i = 0; i < 100; ++i) b.record(500);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.max(), 500u);
+  EXPECT_EQ(a.percentile(0.25), 5u);
+  EXPECT_NEAR(static_cast<double>(a.percentile(0.75)), 500.0, 500.0 * 0.07);
+}
+
+TEST(HistogramTest, HugeValuesClampIntoLastBucket) {
+  Histogram h;
+  h.record(UINT64_MAX);
+  h.record(UINT64_MAX / 2);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  EXPECT_GT(h.percentile(1.0), 0u);  // no crash, monotone
+}
+
+TEST(HistogramTest, SummaryFormat) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("n=100"), std::string::npos);
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+  EXPECT_NE(s.find("max=100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rvk

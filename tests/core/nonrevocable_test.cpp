@@ -1,0 +1,341 @@
+// Non-revocability rules (§2.2): escaped read-write dependencies, volatile
+// variables, native calls, and Object.wait() all disable revocation of the
+// affected monitors — "as a consequence, not all instances of priority
+// inversion can be resolved".
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "heap/heap.hpp"
+#include "heap/volatile_var.hpp"
+#include "rt/scheduler.hpp"
+
+namespace rvk::core {
+namespace {
+
+struct Fixture {
+  explicit Fixture(EngineConfig cfg = {}, rt::SchedulerConfig scfg = {})
+      : sched(scfg), engine(sched, cfg) {}
+  rt::Scheduler sched;
+  Engine engine;
+  heap::Heap heap;
+};
+
+TEST(NonRevocableTest, NativeCallPinsSection) {
+  Fixture fx;
+  RevocableMonitor* m = fx.engine.make_monitor("m");
+  int lo_runs = 0;
+  std::vector<char> order;
+  fx.sched.spawn("lo", 2, [&] {
+    fx.engine.synchronized(*m, [&] {
+      ++lo_runs;
+      NativeCallScope native(fx.engine);  // e.g. prints to the console
+      for (int i = 0; i < 1000; ++i) fx.sched.yield_point();
+    });
+    order.push_back('l');
+  });
+  fx.sched.spawn("hi", 8, [&] {
+    fx.sched.sleep_for(50);
+    fx.engine.synchronized(*m, [] {});
+    order.push_back('h');
+  });
+  fx.sched.run();
+  EXPECT_EQ(lo_runs, 1);  // never revoked
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'l');  // hi had to wait: classical inversion persists
+  const EngineStats& st = fx.engine.stats();
+  EXPECT_GE(st.revocations_denied_pinned, 1u);
+  EXPECT_EQ(st.rollbacks_completed, 0u);
+  EXPECT_GE(st.frames_pinned, 1u);
+}
+
+TEST(NonRevocableTest, NativeCallInNestedSectionPinsEnclosing) {
+  // §2.2: a native method pins the monitor "and all of its enclosing
+  // monitors if it is nested".
+  Fixture fx;
+  RevocableMonitor* outer = fx.engine.make_monitor("outer");
+  RevocableMonitor* inner = fx.engine.make_monitor("inner");
+  int outer_runs = 0;
+  fx.sched.spawn("lo", 2, [&] {
+    fx.engine.synchronized(*outer, [&] {
+      ++outer_runs;
+      fx.engine.synchronized(*inner, [&] {
+        NativeCallScope native(fx.engine);
+      });
+      for (int i = 0; i < 1000; ++i) fx.sched.yield_point();
+    });
+  });
+  fx.sched.spawn("hi", 8, [&] {
+    fx.sched.sleep_for(50);
+    fx.engine.synchronized(*outer, [] {});  // contends on the OUTER monitor
+  });
+  fx.sched.run();
+  EXPECT_EQ(outer_runs, 1);  // outer could not be revoked either
+  EXPECT_EQ(fx.engine.stats().rollbacks_completed, 0u);
+}
+
+TEST(NonRevocableTest, EscapedDependencyPinsWriter) {
+  // Figure 2's scenario, resolved the way §2.2 prescribes: T writes v under
+  // (outer, inner); T' reads v under inner alone after T released inner.
+  // The read creates a dependency on T's still-active OUTER section, which
+  // must therefore refuse revocation.
+  Fixture fx;
+  RevocableMonitor* outer = fx.engine.make_monitor("outer");
+  RevocableMonitor* inner = fx.engine.make_monitor("inner");
+  heap::HeapObject* v = fx.heap.alloc("v", 1);
+  int t_runs = 0;
+  std::uint64_t tprime_saw = 1234;
+  std::vector<char> order;
+  fx.sched.spawn("T", 2, [&] {
+    fx.engine.synchronized(*outer, [&] {
+      ++t_runs;
+      fx.engine.synchronized(*inner, [&] { v->set<int>(0, 42); });
+      // inner released: the write is visible to inner-synchronized readers
+      for (int i = 0; i < 2000; ++i) fx.sched.yield_point();
+    });
+    order.push_back('T');
+  });
+  fx.sched.spawn("Tprime", 5, [&] {
+    fx.sched.sleep_for(30);
+    fx.engine.synchronized(*inner, [&] {
+      tprime_saw = static_cast<std::uint64_t>(v->get<int>(0));
+    });
+  });
+  fx.sched.spawn("hi", 8, [&] {
+    fx.sched.sleep_for(100);  // after T' created the dependency
+    fx.engine.synchronized(*outer, [] {});  // wants to revoke T's outer
+    order.push_back('h');
+  });
+  fx.sched.run();
+  EXPECT_EQ(tprime_saw, 42u);  // JMM-allowed read
+  EXPECT_EQ(t_runs, 1);        // outer pinned: no rollback, no thin air
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'T');    // hi waited out the section
+  const EngineStats& st = fx.engine.stats();
+  EXPECT_GE(st.foreign_reads_observed, 1u);
+  EXPECT_GE(st.frames_pinned, 1u);
+  EXPECT_GE(st.revocations_denied_pinned, 1u);
+}
+
+TEST(NonRevocableTest, DependencyDoesNotPinWhenReaderIsWriter) {
+  // A thread re-reading its own speculative writes creates no dependency.
+  Fixture fx;
+  RevocableMonitor* m = fx.engine.make_monitor("m");
+  heap::HeapObject* o = fx.heap.alloc("o", 1);
+  int lo_runs = 0;
+  fx.sched.spawn("lo", 2, [&] {
+    fx.engine.synchronized(*m, [&] {
+      ++lo_runs;
+      o->set<int>(0, 1);
+      for (int i = 0; i < 1500; ++i) {
+        (void)o->get<int>(0);  // own speculation: harmless
+        fx.sched.yield_point();
+      }
+    });
+  });
+  fx.sched.spawn("hi", 8, [&] {
+    fx.sched.sleep_for(50);
+    fx.engine.synchronized(*m, [] {});
+  });
+  fx.sched.run();
+  EXPECT_EQ(lo_runs, 2);  // still revocable
+  EXPECT_EQ(fx.engine.stats().rollbacks_completed, 1u);
+}
+
+TEST(NonRevocableTest, StaleWriterMarkIsClearedAndHarmless) {
+  // After the writer's section commits, its mark on the object is stale; a
+  // later reader must not pin anything and the mark self-heals.
+  Fixture fx;
+  RevocableMonitor* m = fx.engine.make_monitor("m");
+  heap::HeapObject* o = fx.heap.alloc("o", 1);
+  fx.sched.spawn("writer", rt::kNormPriority, [&] {
+    fx.engine.synchronized(*m, [&] { o->set<int>(0, 9); });
+  });
+  fx.sched.spawn("reader", rt::kNormPriority, [&] {
+    fx.sched.sleep_for(50);  // writer is long done
+    EXPECT_EQ(o->get<int>(0), 9);
+    EXPECT_EQ(o->meta().writer_tid, 0u);  // cleared by the read hook
+  });
+  fx.sched.run();
+  EXPECT_EQ(fx.engine.stats().frames_pinned, 0u);
+  EXPECT_EQ(fx.engine.stats().foreign_reads_observed, 0u);
+}
+
+TEST(NonRevocableTest, VolatilePreciseDependencyPins) {
+  // Figure 3: T writes a volatile inside its section; T' reads it with no
+  // monitor at all.  Precise policy: pin at the foreign read.
+  Fixture fx;
+  RevocableMonitor* m = fx.engine.make_monitor("m");
+  heap::VolatileVar<int> vol("vol");
+  int t_runs = 0;
+  int tprime_saw = -1;
+  fx.sched.spawn("T", 2, [&] {
+    fx.engine.synchronized(*m, [&] {
+      ++t_runs;
+      vol.store(7);
+      for (int i = 0; i < 2000; ++i) fx.sched.yield_point();
+    });
+  });
+  fx.sched.spawn("Tprime", 5, [&] {
+    fx.sched.sleep_for(30);
+    tprime_saw = vol.load();  // unmonitored volatile read
+  });
+  fx.sched.spawn("hi", 8, [&] {
+    fx.sched.sleep_for(100);
+    fx.engine.synchronized(*m, [] {});
+  });
+  fx.sched.run();
+  EXPECT_EQ(tprime_saw, 7);
+  EXPECT_EQ(t_runs, 1);  // pinned by the volatile dependency: no rollback
+  EXPECT_EQ(fx.engine.stats().rollbacks_completed, 0u);
+}
+
+TEST(NonRevocableTest, VolatileWithoutForeignReadStaysRevocable) {
+  // Precise policy: a volatile write nobody observed does not pin.
+  Fixture fx;
+  RevocableMonitor* m = fx.engine.make_monitor("m");
+  heap::VolatileVar<int> vol("vol");
+  int t_runs = 0;
+  fx.sched.spawn("T", 2, [&] {
+    fx.engine.synchronized(*m, [&] {
+      ++t_runs;
+      vol.store(7);
+      for (int i = 0; i < 1500; ++i) fx.sched.yield_point();
+    });
+  });
+  fx.sched.spawn("hi", 8, [&] {
+    fx.sched.sleep_for(50);
+    fx.engine.synchronized(*m, [] {});
+  });
+  fx.sched.run();
+  EXPECT_EQ(t_runs, 2);  // revoked and re-run
+  EXPECT_EQ(fx.engine.stats().rollbacks_completed, 1u);
+  // The rolled-back volatile write was restored.
+  EXPECT_EQ(vol.load(), 7);  // final committed value from the re-run
+}
+
+TEST(NonRevocableTest, VolatileConservativePolicyPinsAtWrite) {
+  EngineConfig cfg;
+  cfg.volatile_policy = VolatilePolicy::kConservative;
+  Fixture fx(cfg);
+  RevocableMonitor* m = fx.engine.make_monitor("m");
+  heap::VolatileVar<int> vol("vol");
+  int t_runs = 0;
+  fx.sched.spawn("T", 2, [&] {
+    fx.engine.synchronized(*m, [&] {
+      ++t_runs;
+      vol.store(7);  // pins immediately, with no reader at all
+      for (int i = 0; i < 1500; ++i) fx.sched.yield_point();
+    });
+  });
+  fx.sched.spawn("hi", 8, [&] {
+    fx.sched.sleep_for(50);
+    fx.engine.synchronized(*m, [] {});
+  });
+  fx.sched.run();
+  EXPECT_EQ(t_runs, 1);
+  EXPECT_EQ(fx.engine.stats().rollbacks_completed, 0u);
+  EXPECT_GE(fx.engine.stats().frames_pinned, 1u);
+}
+
+TEST(NonRevocableTest, WaitPinsSection) {
+  // §2.2: revoking a completed wait() would make the matching notify
+  // "disappear"; the waiting section becomes non-revocable.
+  Fixture fx;
+  RevocableMonitor* m = fx.engine.make_monitor("m");
+  RevocableMonitor* cond = fx.engine.make_monitor("cond");
+  int waiter_runs = 0;
+  std::vector<char> order;
+  fx.sched.spawn("waiter", 2, [&] {
+    fx.engine.synchronized(*m, [&] {
+      ++waiter_runs;
+      fx.engine.synchronized(*cond, [&] { cond->wait(); });
+      for (int i = 0; i < 1000; ++i) fx.sched.yield_point();
+    });
+    order.push_back('w');
+  });
+  fx.sched.spawn("notifier", 5, [&] {
+    fx.sched.sleep_for(30);
+    fx.engine.synchronized(*cond, [&] { cond->notify_one(); });
+  });
+  fx.sched.spawn("hi", 8, [&] {
+    fx.sched.sleep_for(100);
+    fx.engine.synchronized(*m, [] {});
+    order.push_back('h');
+  });
+  fx.sched.run();
+  EXPECT_EQ(waiter_runs, 1);  // wait() pinned m's section: no revocation
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'w');
+  EXPECT_EQ(fx.engine.stats().rollbacks_completed, 0u);
+}
+
+TEST(NonRevocableTest, NotifyDoesNotPin) {
+  // §2.2: "A call to notify does not enforce the irrevocability of the
+  // enclosing monitors" — a rolled-back notification is a legal spurious
+  // wakeup.  The woken waiter (priority 5) contends with the notifying
+  // section's owner (priority 2) and successfully revokes it: had notify
+  // pinned the section, the request would have been refused.
+  Fixture fx;
+  RevocableMonitor* m = fx.engine.make_monitor("m");
+  int lo_runs = 0;
+  bool waiter_woke = false;
+  fx.sched.spawn("waiter", 5, [&] {
+    fx.engine.synchronized(*m, [&] { m->wait(); });
+    waiter_woke = true;  // woken by a notify that was later rolled back:
+                         // a legal spurious wakeup
+  });
+  fx.sched.spawn("lo", 2, [&] {
+    fx.sched.sleep_for(20);
+    fx.engine.synchronized(*m, [&] {
+      ++lo_runs;
+      m->notify_one();
+      for (int i = 0; i < 2000; ++i) fx.sched.yield_point();
+    });
+  });
+  fx.sched.run();
+  EXPECT_EQ(lo_runs, 2);  // notify did not pin: lo was revoked and re-ran
+  EXPECT_GE(fx.engine.stats().rollbacks_completed, 1u);
+  EXPECT_TRUE(waiter_woke);
+}
+
+TEST(NonRevocableTest, ManualPin) {
+  Fixture fx;
+  RevocableMonitor* m = fx.engine.make_monitor("m");
+  int lo_runs = 0;
+  fx.sched.spawn("lo", 2, [&] {
+    fx.engine.synchronized(*m, [&] {
+      ++lo_runs;
+      fx.engine.pin_current_frames(PinReason::kManual);
+      for (int i = 0; i < 1000; ++i) fx.sched.yield_point();
+    });
+  });
+  fx.sched.spawn("hi", 8, [&] {
+    fx.sched.sleep_for(50);
+    fx.engine.synchronized(*m, [] {});
+  });
+  fx.sched.run();
+  EXPECT_EQ(lo_runs, 1);
+  EXPECT_EQ(fx.engine.stats().rollbacks_completed, 0u);
+}
+
+TEST(NonRevocableTest, JmmGuardOffSkipsDependencyTracking) {
+  // The guard can be disabled for workloads whose shared accesses are all
+  // monitor-mediated (like the paper's micro-benchmark); the ablation
+  // benchmark measures what that saves.
+  EngineConfig cfg;
+  cfg.jmm_guard = false;
+  Fixture fx(cfg);
+  RevocableMonitor* m = fx.engine.make_monitor("m");
+  heap::HeapObject* o = fx.heap.alloc("o", 1);
+  fx.sched.spawn("t", rt::kNormPriority, [&] {
+    fx.engine.synchronized(*m, [&] { o->set<int>(0, 3); });
+  });
+  fx.sched.run();
+  EXPECT_EQ(o->meta().writer_tid, 0u);  // no marks maintained
+  EXPECT_EQ(fx.engine.stats().foreign_reads_observed, 0u);
+}
+
+}  // namespace
+}  // namespace rvk::core

@@ -1,0 +1,68 @@
+// ASCII panel rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/ascii_plot.hpp"
+
+namespace rvk::harness {
+namespace {
+
+PanelResult synthetic_panel() {
+  PanelResult p;
+  p.spec = PanelSpec{2, 8};
+  for (int wp : {0, 50, 100}) {
+    PointResult pt;
+    pt.write_pct = wp;
+    pt.unmodified.ticks.mean = 1.0;
+    pt.modified.ticks.mean = 0.6 + wp / 500.0;
+    pt.unmodified.wall.mean = 1.0 + wp / 200.0;
+    pt.modified.wall.mean = 0.7 + wp / 150.0;
+    p.points.push_back(pt);
+  }
+  return p;
+}
+
+TEST(AsciiPlotTest, RendersBothSeriesAndBaseline) {
+  std::ostringstream os;
+  plot_panel(synthetic_panel(), PlotOptions{}, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find('M'), std::string::npos);
+  EXPECT_NE(out.find('u'), std::string::npos);
+  EXPECT_NE(out.find("2 high + 8 low"), std::string::npos);
+  EXPECT_NE(out.find("0% writes"), std::string::npos);
+  EXPECT_NE(out.find("100% writes"), std::string::npos);
+  // The modified series sits below the unmodified one: find row indices.
+  std::istringstream is(out);
+  std::string line;
+  int row = 0, m_row = -1, u_row = -1;
+  while (std::getline(is, line)) {
+    // Only grid rows (bracketed by '|') count, not the header legend.
+    if (line.size() > 2 && line.back() == '|') {
+      if (m_row < 0 && line.find('M') != std::string::npos) m_row = row;
+      if (u_row < 0 && line.find('u') != std::string::npos) u_row = row;
+    }
+    ++row;
+  }
+  ASSERT_GE(m_row, 0);
+  ASSERT_GE(u_row, 0);
+  EXPECT_GT(m_row, u_row);  // lower value = lower on screen = later row
+}
+
+TEST(AsciiPlotTest, WallSeriesSelectable) {
+  std::ostringstream os;
+  PlotOptions opts;
+  opts.use_ticks = false;
+  plot_panel(synthetic_panel(), opts, os);
+  EXPECT_NE(os.str().find("normalized wall"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, EmptyPanelIsNoop) {
+  std::ostringstream os;
+  PanelResult empty;
+  plot_panel(empty, PlotOptions{}, os);
+  EXPECT_TRUE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace rvk::harness

@@ -1,0 +1,140 @@
+// Harness plumbing: figure specs, statistics, environment scaling.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/stats.hpp"
+#include "harness/env.hpp"
+#include "harness/figures.hpp"
+
+namespace rvk::harness {
+namespace {
+
+TEST(StatsTest, SummaryOfConstantSamples) {
+  Summary s = summarize({2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci90_half, 0.0);
+  EXPECT_EQ(s.n, 3u);
+}
+
+TEST(StatsTest, SummaryMeanAndCi) {
+  Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+  // t(4, 90%) = 2.132; sem = 1.5811/sqrt(5) = 0.7071
+  EXPECT_NEAR(s.ci90_half, 2.132 * 0.7071, 1e-3);
+  EXPECT_LT(s.lo(), s.mean);
+  EXPECT_GT(s.hi(), s.mean);
+}
+
+TEST(StatsTest, EmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  Summary one = summarize({7.0});
+  EXPECT_DOUBLE_EQ(one.mean, 7.0);
+  EXPECT_DOUBLE_EQ(one.ci90_half, 0.0);
+}
+
+TEST(StatsTest, TCriticalTable) {
+  EXPECT_NEAR(t_critical_90(1), 6.314, 1e-9);
+  EXPECT_NEAR(t_critical_90(4), 2.132, 1e-9);   // paper's 5 reps
+  EXPECT_NEAR(t_critical_90(30), 1.697, 1e-9);
+  EXPECT_NEAR(t_critical_90(1000), 1.645, 1e-9);
+}
+
+FigureSpec tiny_fig() {
+  FigureSpec spec;
+  spec.id = "figtest";
+  spec.title = "test figure";
+  spec.high_iters = 200;
+  spec.write_percents = {0, 100};
+  spec.panels = {{1, 2}};
+  spec.reps = 2;
+  spec.base.sections_per_thread = 2;
+  spec.base.low_iters = 1000;
+  spec.base.avg_pause_ticks = 30;
+  return spec;
+}
+
+TEST(FigureRunnerTest, ProducesAllPointsAndPositiveNormals) {
+  FigureResult fig = run_figure(tiny_fig(), nullptr);
+  ASSERT_EQ(fig.panels.size(), 1u);
+  ASSERT_EQ(fig.panels[0].points.size(), 2u);
+  EXPECT_GT(fig.panels[0].baseline_ticks, 0.0);
+  EXPECT_GT(fig.panels[0].baseline_wall, 0.0);
+  for (const PointResult& pt : fig.panels[0].points) {
+    EXPECT_GT(pt.modified.ticks.mean, 0.0);
+    EXPECT_GT(pt.unmodified.ticks.mean, 0.0);
+    EXPECT_GT(pt.modified.wall.mean, 0.0);
+    EXPECT_EQ(pt.modified.ticks.n, 2u);
+  }
+  // Normalization sanity: unmodified @ 0% writes is its own baseline, and
+  // the tick clock is deterministic, so it must normalize to exactly 1.
+  EXPECT_DOUBLE_EQ(fig.panels[0].points[0].unmodified.ticks.mean, 1.0);
+  EXPECT_NEAR(fig.panels[0].points[0].unmodified.wall.mean, 1.0, 0.5);
+}
+
+TEST(FigureRunnerTest, PrintAndAggregatesDoNotExplode) {
+  FigureResult fig = run_figure(tiny_fig(), nullptr);
+  std::ostringstream os;
+  print_figure(fig, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("figtest"), std::string::npos);
+  EXPECT_NE(out.find("UNMODIFIED"), std::string::npos);
+  (void)average_gain_percent(fig, false);
+  (void)average_gain_percent(fig, true);
+  (void)average_overhead_percent(fig);
+}
+
+TEST(FigureRunnerTest, CsvWriterProducesRows) {
+  FigureResult fig = run_figure(tiny_fig(), nullptr);
+  const std::string path = "/tmp/rvk_fig_test.csv";
+  write_csv(fig, path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string line;
+  int rows = 0;
+  while (std::getline(f, line)) ++rows;
+  EXPECT_EQ(rows, 1 + 2 * 2);  // header + 2 points × 2 series
+}
+
+TEST(EnvTest, PaperModeRestoresPaperParameters) {
+  setenv("RVK_PAPER", "1", 1);
+  FigureSpec spec = tiny_fig();
+  apply_env(spec, /*paper_high_iters=*/100000);
+  unsetenv("RVK_PAPER");
+  EXPECT_EQ(spec.base.sections_per_thread, 100);
+  EXPECT_EQ(spec.base.low_iters, 500000u);
+  EXPECT_EQ(spec.high_iters, 100000u);
+  EXPECT_EQ(spec.reps, 5);
+}
+
+TEST(EnvTest, LowItersRescalingKeepsRatio) {
+  FigureSpec spec = tiny_fig();  // low=1000, high=200 (ratio 5:1)
+  setenv("RVK_LOW_ITERS", "5000", 1);
+  apply_env(spec, 100000);
+  unsetenv("RVK_LOW_ITERS");
+  EXPECT_EQ(spec.base.low_iters, 5000u);
+  EXPECT_EQ(spec.high_iters, 1000u);
+}
+
+TEST(EnvTest, RepsOverride) {
+  FigureSpec spec = tiny_fig();
+  setenv("RVK_REPS", "7", 1);
+  apply_env(spec, 100000);
+  unsetenv("RVK_REPS");
+  EXPECT_EQ(spec.reps, 7);
+}
+
+TEST(EnvTest, NoEnvLeavesScaledDefaults) {
+  FigureSpec spec = tiny_fig();
+  apply_env(spec, 100000);
+  EXPECT_EQ(spec.base.sections_per_thread, 2);
+  EXPECT_EQ(spec.base.low_iters, 1000u);
+  EXPECT_EQ(spec.high_iters, 200u);
+}
+
+}  // namespace
+}  // namespace rvk::harness

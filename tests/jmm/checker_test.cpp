@@ -1,0 +1,187 @@
+// Consistency checker unit tests on synthetic event streams.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "jmm/checker.hpp"
+#include "jmm/format.hpp"
+
+namespace rvk::jmm {
+namespace {
+
+int marker;  // stable address for the synthetic location
+const Loc kLoc{&marker, 0};
+
+Event write(std::uint32_t tid, std::uint64_t value, std::uint64_t old_value,
+            std::uint64_t frame) {
+  Event e;
+  e.kind = EventKind::kWrite;
+  e.tid = tid;
+  e.loc = kLoc;
+  e.value = value;
+  e.old_value = old_value;
+  e.frame = frame;
+  return e;
+}
+
+Event read(std::uint32_t tid, std::uint64_t value) {
+  Event e;
+  e.kind = EventKind::kRead;
+  e.tid = tid;
+  e.loc = kLoc;
+  e.value = value;
+  return e;
+}
+
+Event undo(std::uint32_t tid, std::uint64_t restored) {
+  Event e;
+  e.kind = EventKind::kUndo;
+  e.tid = tid;
+  e.loc = kLoc;
+  e.value = restored;
+  return e;
+}
+
+Event commit(std::uint32_t tid) {
+  Event e;
+  e.kind = EventKind::kCommitOuter;
+  e.tid = tid;
+  return e;
+}
+
+TEST(CheckerTest, EmptyTraceIsConsistent) {
+  EXPECT_TRUE(check_consistency({}).ok());
+}
+
+TEST(CheckerTest, CommittedWriteReadByOtherThreadIsFine) {
+  std::vector<Event> ev{write(1, 5, 0, /*frame=*/7), commit(1), read(2, 5)};
+  CheckResult r = check_consistency(ev);
+  EXPECT_TRUE(r.ok()) << r.report();
+  EXPECT_EQ(r.reads_checked, 1u);
+}
+
+TEST(CheckerTest, SpeculativeValueReadThenUndoneIsThinAir) {
+  std::vector<Event> ev{write(1, 5, 0, 7), read(2, 5), undo(1, 0)};
+  CheckResult r = check_consistency(ev);
+  ASSERT_EQ(r.violations.size(), 1u) << r.report();
+  EXPECT_EQ(r.violations[0].kind, Violation::Kind::kThinAirRead);
+  EXPECT_EQ(r.violations[0].event_index, 1u);
+}
+
+TEST(CheckerTest, SpeculativeValueReadByWriterThenUndoneIsFine) {
+  std::vector<Event> ev{write(1, 5, 0, 7), read(1, 5), undo(1, 0)};
+  EXPECT_TRUE(check_consistency(ev).ok());
+}
+
+TEST(CheckerTest, UndoneThenReadRestoredValueIsFine) {
+  std::vector<Event> ev{write(1, 5, 0, 7), undo(1, 0), read(2, 0)};
+  EXPECT_TRUE(check_consistency(ev).ok());
+}
+
+TEST(CheckerTest, ReadOfWrongValueIsShadowMismatch) {
+  std::vector<Event> ev{write(1, 5, 0, 7), commit(1), read(2, 6)};
+  CheckResult r = check_consistency(ev);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind, Violation::Kind::kShadowMismatch);
+}
+
+TEST(CheckerTest, UndoRestoringWrongValueIsUndoMismatch) {
+  std::vector<Event> ev{write(1, 5, 0, 7), undo(1, 3)};
+  CheckResult r = check_consistency(ev);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind, Violation::Kind::kUndoMismatch);
+}
+
+TEST(CheckerTest, UndoWithoutSpeculativeWriteIsUndoMismatch) {
+  std::vector<Event> ev{undo(1, 0)};
+  CheckResult r = check_consistency(ev);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind, Violation::Kind::kUndoMismatch);
+}
+
+TEST(CheckerTest, NestedSpeculativeWritesUndoneInReverseOrder) {
+  std::vector<Event> ev{
+      write(1, 5, 0, 7),   // outer frame
+      write(1, 6, 5, 8),   // inner frame
+      undo(1, 5),          // inner rollback restores 5
+      read(1, 5),
+      undo(1, 0),          // outer rollback restores 0
+      read(2, 0),
+  };
+  CheckResult r = check_consistency(ev);
+  EXPECT_TRUE(r.ok()) << r.report();
+  EXPECT_EQ(r.undos_seen, 2u);
+}
+
+TEST(CheckerTest, CommitClearsSpeculationSoLaterUndoOfOthersIsChecked) {
+  std::vector<Event> ev{
+      write(1, 5, 0, 7), commit(1),   // thread 1's write is now permanent
+      write(2, 9, 5, 12), read(3, 9), // thread 2 speculates; thread 3 peeks
+      undo(2, 5),                     // and thread 2 rolls back → thin air
+  };
+  CheckResult r = check_consistency(ev);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind, Violation::Kind::kThinAirRead);
+}
+
+TEST(CheckerTest, NonSpeculativeWritesAreNeverThinAir) {
+  // frame==0 marks a write performed outside any section.
+  std::vector<Event> ev{write(1, 5, 0, /*frame=*/0), read(2, 5)};
+  EXPECT_TRUE(check_consistency(ev).ok());
+}
+
+TEST(CheckerTest, WriteOldValueInconsistentWithShadowIsFlagged) {
+  std::vector<Event> ev{write(1, 5, 0, 0), write(2, 6, /*old=*/4, 0)};
+  CheckResult r = check_consistency(ev);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind, Violation::Kind::kShadowMismatch);
+}
+
+TEST(CheckerTest, ReportIsHumanReadable) {
+  std::vector<Event> ev{write(1, 5, 0, 7), read(2, 5), undo(1, 0)};
+  CheckResult r = check_consistency(ev);
+  const std::string report = r.report();
+  EXPECT_NE(report.find("thin-air-read"), std::string::npos);
+  EXPECT_NE(report.find("1 violation"), std::string::npos);
+}
+
+
+TEST(FormatTest, EventRendering) {
+  Event w;
+  w.kind = EventKind::kWrite;
+  w.tid = 3;
+  w.loc = kLoc;
+  w.value = 7;
+  w.old_value = 2;
+  w.frame = 11;
+  const std::string ws = format_event(w);
+  EXPECT_NE(ws.find("T3 write"), std::string::npos);
+  EXPECT_NE(ws.find("= 7 (was 2)"), std::string::npos);
+  EXPECT_NE(ws.find("[frame 11]"), std::string::npos);
+
+  Event u;
+  u.kind = EventKind::kUndo;
+  u.tid = 3;
+  u.loc = kLoc;
+  u.value = 2;
+  EXPECT_NE(format_event(u).find("restored to 2"), std::string::npos);
+
+  Event p;
+  p.kind = EventKind::kPin;
+  p.tid = 1;
+  p.frame = 4;
+  EXPECT_NE(format_event(p).find("non-revocable"), std::string::npos);
+}
+
+TEST(FormatTest, TraceWindow) {
+  std::vector<Event> ev{write(1, 5, 0, 7), read(2, 5), undo(1, 0)};
+  std::ostringstream os;
+  format_trace(ev, os, /*from=*/1, /*limit=*/1);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("read"), std::string::npos);
+  EXPECT_EQ(out.find("write"), std::string::npos);
+  EXPECT_EQ(out.find("undo"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rvk::jmm

@@ -1,0 +1,154 @@
+// UndoLog: the sequential buffer of §3.1.2 and its reverse replay.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "log/undo_log.hpp"
+
+namespace rvk::log {
+namespace {
+
+TEST(UndoLogTest, StartsEmpty) {
+  UndoLog log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.watermark(), 0u);
+}
+
+TEST(UndoLogTest, RecordAndRollbackSingleEntry) {
+  UndoLog log;
+  Word slot = 10;
+  log.record(EntryKind::kObjectField, &slot, slot, nullptr, 0);
+  slot = 99;
+  log.rollback_to(0);
+  EXPECT_EQ(slot, 10u);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(UndoLogTest, ReverseReplayRestoresOldestValue) {
+  // Multiple writes to the same location: the oldest logged value must win
+  // (it is replayed last).
+  UndoLog log;
+  Word slot = 1;
+  log.record(EntryKind::kObjectField, &slot, slot, nullptr, 0);
+  slot = 2;
+  log.record(EntryKind::kObjectField, &slot, slot, nullptr, 0);
+  slot = 3;
+  log.record(EntryKind::kObjectField, &slot, slot, nullptr, 0);
+  slot = 4;
+  log.rollback_to(0);
+  EXPECT_EQ(slot, 1u);
+}
+
+TEST(UndoLogTest, WatermarkRollbackIsPartial) {
+  // Nested frames: inner frame's rollback must not disturb outer entries.
+  UndoLog log;
+  Word a = 100, b = 200;
+  log.record(EntryKind::kObjectField, &a, a, nullptr, 0);  // outer write
+  a = 111;
+  const std::size_t inner_mark = log.watermark();
+  log.record(EntryKind::kObjectField, &b, b, nullptr, 1);  // inner write
+  b = 222;
+  log.rollback_to(inner_mark);
+  EXPECT_EQ(b, 200u);   // inner undone
+  EXPECT_EQ(a, 111u);   // outer intact
+  EXPECT_EQ(log.size(), inner_mark);
+  log.rollback_to(0);
+  EXPECT_EQ(a, 100u);
+}
+
+TEST(UndoLogTest, NestedCommitLeavesEntriesForOuterRollback) {
+  // An inner frame that *commits* leaves its entries speculative; a later
+  // rollback of the outer frame undoes them too.
+  UndoLog log;
+  Word a = 1, b = 2;
+  log.record(EntryKind::kObjectField, &a, a, nullptr, 0);
+  a = 10;
+  // inner frame: record, then "commit" = do nothing to the log
+  log.record(EntryKind::kObjectField, &b, b, nullptr, 0);
+  b = 20;
+  // outer rollback
+  log.rollback_to(0);
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+}
+
+TEST(UndoLogTest, DiscardAllCommits) {
+  UndoLog log;
+  Word slot = 5;
+  log.record(EntryKind::kObjectField, &slot, slot, nullptr, 0);
+  slot = 6;
+  log.discard_all();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(slot, 6u);  // value untouched
+}
+
+TEST(UndoLogTest, EntriesCarryPaperTriple) {
+  // §3.1.2: object/array stores record (reference, offset, old value);
+  // static stores record (offset, old value).
+  UndoLog log;
+  Word field = 7;
+  int dummy_object;
+  log.record(EntryKind::kObjectField, &field, field, &dummy_object, 3);
+  const Entry& e = log.entry(0);
+  EXPECT_EQ(e.base, &dummy_object);
+  EXPECT_EQ(e.offset, 3u);
+  EXPECT_EQ(e.old_value, 7u);
+  EXPECT_EQ(e.kind, EntryKind::kObjectField);
+}
+
+TEST(UndoLogTest, CountKind) {
+  UndoLog log;
+  Word s = 0;
+  log.record(EntryKind::kObjectField, &s, 0, nullptr, 0);
+  log.record(EntryKind::kArrayElement, &s, 0, nullptr, 0);
+  log.record(EntryKind::kArrayElement, &s, 0, nullptr, 0);
+  log.record(EntryKind::kStaticField, &s, 0, nullptr, 0);
+  EXPECT_EQ(log.count_kind(EntryKind::kObjectField), 1u);
+  EXPECT_EQ(log.count_kind(EntryKind::kArrayElement), 2u);
+  EXPECT_EQ(log.count_kind(EntryKind::kStaticField), 1u);
+  EXPECT_EQ(log.count_kind(EntryKind::kVolatileSlot), 0u);
+  EXPECT_EQ(log.count_kind(EntryKind::kArrayElement, 2), 1u);
+}
+
+TEST(UndoLogTest, StatsTrackTraffic) {
+  UndoLog log;
+  Word s = 0;
+  for (int i = 0; i < 10; ++i) {
+    log.record(EntryKind::kObjectField, &s, s, nullptr, 0);
+    s = static_cast<Word>(i);
+  }
+  log.rollback_to(4);
+  log.discard_all();
+  const LogStats& st = log.stats();
+  EXPECT_EQ(st.appends, 10u);
+  EXPECT_EQ(st.words_undone, 6u);
+  EXPECT_EQ(st.rollbacks, 1u);
+  EXPECT_EQ(st.commits, 1u);
+  EXPECT_EQ(st.high_water, 10u);
+}
+
+TEST(UndoLogTest, GrowsBeyondInitialCapacity) {
+  UndoLog log(4);
+  std::array<Word, 1000> slots{};
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    log.record(EntryKind::kArrayElement, &slots[i], i, nullptr,
+               static_cast<std::uint32_t>(i));
+    slots[i] = 12345;
+  }
+  EXPECT_EQ(log.size(), 1000u);
+  log.rollback_to(0);
+  for (std::size_t i = 0; i < slots.size(); ++i) EXPECT_EQ(slots[i], i);
+}
+
+TEST(UndoLogTest, RollbackToCurrentWatermarkIsNoop) {
+  UndoLog log;
+  Word s = 1;
+  log.record(EntryKind::kObjectField, &s, s, nullptr, 0);
+  s = 2;
+  log.rollback_to(log.watermark());
+  EXPECT_EQ(s, 2u);
+  EXPECT_EQ(log.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rvk::log

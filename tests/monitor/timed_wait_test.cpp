@@ -1,0 +1,162 @@
+// Timed wait (Object.wait(timeout)) on the virtual clock.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "monitor/monitor.hpp"
+#include "rt/scheduler.hpp"
+
+namespace rvk::monitor {
+namespace {
+
+TEST(TimedWaitTest, TimesOutWithoutNotify) {
+  rt::Scheduler s;
+  BlockingMonitor m("m");
+  bool notified = true;
+  std::uint64_t woke_at = 0;
+  s.spawn("waiter", rt::kNormPriority, [&] {
+    m.acquire();
+    notified = m.wait_for(500);
+    woke_at = s.now();
+    m.release();
+  });
+  s.run();
+  EXPECT_FALSE(notified);
+  EXPECT_GE(woke_at, 500u);
+}
+
+TEST(TimedWaitTest, NotifyBeforeDeadlineReturnsTrue) {
+  rt::Scheduler s;
+  BlockingMonitor m("m");
+  bool notified = false;
+  std::uint64_t woke_at = 0;
+  s.spawn("waiter", rt::kNormPriority, [&] {
+    m.acquire();
+    notified = m.wait_for(100000);
+    woke_at = s.now();
+    m.release();
+  });
+  s.spawn("notifier", rt::kNormPriority, [&] {
+    s.sleep_for(200);
+    m.acquire();
+    m.notify_one();
+    m.release();
+  });
+  s.run();
+  EXPECT_TRUE(notified);
+  EXPECT_LT(woke_at, 100000u);
+}
+
+TEST(TimedWaitTest, ReacquiresAndRestoresRecursion) {
+  rt::Scheduler s;
+  BlockingMonitor m("m");
+  s.spawn("waiter", rt::kNormPriority, [&] {
+    m.acquire();
+    m.acquire();
+    EXPECT_FALSE(m.wait_for(50));
+    EXPECT_TRUE(m.held_by_current());
+    EXPECT_EQ(m.recursion(), 2);
+    m.release();
+    m.release();
+  });
+  s.run();
+  EXPECT_EQ(m.owner(), nullptr);
+}
+
+TEST(TimedWaitTest, TimedOutWaiterContendsForMonitor) {
+  // The monitor is held by another thread when the timeout fires; the
+  // waiter must block on reacquisition, not barge into a held monitor.
+  rt::Scheduler s;
+  BlockingMonitor m("m");
+  std::vector<int> order;
+  s.spawn("waiter", rt::kNormPriority, [&] {
+    m.acquire();
+    EXPECT_FALSE(m.wait_for(100));
+    order.push_back(2);  // must reacquire only after the holder releases
+    m.release();
+  });
+  s.spawn("holder", rt::kNormPriority, [&] {
+    s.sleep_for(20);
+    m.acquire();  // waiter released the monitor in wait_for
+    for (int i = 0; i < 500; ++i) s.yield_point();
+    order.push_back(1);
+    m.release();
+  });
+  s.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(TimedWaitTest, MixedTimedAndPlainWaiters) {
+  rt::Scheduler s;
+  BlockingMonitor m("m");
+  int timed_result = -1;
+  bool plain_woke = false;
+  s.spawn("timed", rt::kNormPriority, [&] {
+    m.acquire();
+    timed_result = m.wait_for(300) ? 1 : 0;
+    m.release();
+  });
+  s.spawn("plain", rt::kNormPriority, [&] {
+    m.acquire();
+    m.wait();
+    plain_woke = true;
+    m.release();
+  });
+  s.spawn("notifier", rt::kNormPriority, [&] {
+    s.sleep_for(1000);  // after the timed waiter expired
+    m.acquire();
+    m.notify_all();
+    m.release();
+  });
+  s.run();
+  EXPECT_EQ(timed_result, 0);
+  EXPECT_TRUE(plain_woke);
+}
+
+TEST(TimedWaitTest, RevocableMonitorWaitForPinsLikeWait) {
+  rt::Scheduler s;
+  core::Engine engine(s);
+  core::RevocableMonitor* m = engine.make_monitor("m");
+  int runs = 0;
+  std::vector<char> order;
+  s.spawn("lo", 2, [&] {
+    engine.synchronized(*m, [&] {
+      ++runs;
+      EXPECT_FALSE(m->wait_for(50));  // §2.2: wait pins the section
+      for (int i = 0; i < 1500; ++i) s.yield_point();
+    });
+    order.push_back('l');
+  });
+  s.spawn("hi", 8, [&] {
+    s.sleep_for(200);
+    engine.synchronized(*m, [] {});
+    order.push_back('h');
+  });
+  s.run();
+  EXPECT_EQ(runs, 1);  // non-revocable after wait_for
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'l');
+  EXPECT_EQ(engine.stats().rollbacks_completed, 0u);
+}
+
+TEST(TimedWaitTest, SchedulerTimedBlockPrimitive) {
+  rt::Scheduler s;
+  rt::WaitQueue q;
+  bool first_result = true, second_result = false;
+  s.spawn("blocker", rt::kNormPriority, [&] {
+    first_result = s.block_current_on_for(q, 100);   // nobody wakes: timeout
+    second_result = s.block_current_on_for(q, 100000);  // woken below
+  });
+  s.spawn("waker", rt::kNormPriority, [&] {
+    s.sleep_for(500);
+    rt::VThread* w = s.wake_best(q);
+    EXPECT_NE(w, nullptr);
+  });
+  s.run();
+  EXPECT_FALSE(first_result);
+  EXPECT_TRUE(second_result);
+}
+
+}  // namespace
+}  // namespace rvk::monitor

@@ -1,0 +1,125 @@
+// Property tests over the §4.1 micro-benchmark harness itself.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/workload.hpp"
+
+namespace rvk::harness {
+namespace {
+
+WorkloadParams small_params() {
+  WorkloadParams p;
+  p.sections_per_thread = 3;
+  p.high_iters = 300;
+  p.low_iters = 1500;
+  p.avg_pause_ticks = 50;
+  p.scheduler_quantum = 50;
+  return p;
+}
+
+using MixAndWrites = std::tuple<int, int, unsigned>;
+
+class WorkloadPropertyTest : public ::testing::TestWithParam<MixAndWrites> {};
+
+TEST_P(WorkloadPropertyTest, BothVmsExecuteAllSections) {
+  auto [hi, lo, wp] = GetParam();
+  WorkloadParams p = small_params();
+  p.high_threads = hi;
+  p.low_threads = lo;
+  p.write_percent = wp;
+  const auto expected =
+      static_cast<std::uint64_t>((hi + lo) * p.sections_per_thread);
+  WorkloadResult u = run_workload(VmKind::kUnmodified, p);
+  WorkloadResult m = run_workload(VmKind::kModified, p);
+  EXPECT_EQ(u.sections_executed, expected);
+  EXPECT_EQ(m.sections_executed, expected);
+  // The modified VM committed every section exactly once, regardless of how
+  // many revocations happened along the way.
+  EXPECT_EQ(m.engine.sections_committed, expected);
+}
+
+TEST_P(WorkloadPropertyTest, UnmodifiedVmNeverLogsOrRevokes) {
+  auto [hi, lo, wp] = GetParam();
+  WorkloadParams p = small_params();
+  p.high_threads = hi;
+  p.low_threads = lo;
+  p.write_percent = wp;
+  WorkloadResult u = run_workload(VmKind::kUnmodified, p);
+  EXPECT_EQ(u.engine.log_appends, 0u);
+  EXPECT_EQ(u.engine.rollbacks_completed, 0u);
+  EXPECT_EQ(u.engine.revocations_requested, 0u);
+}
+
+TEST_P(WorkloadPropertyTest, ModifiedVmLogsAllWritesOfAllThreads) {
+  // §4.1: "updates of both low-priority and high-priority threads are
+  // logged for fairness".  Expected log appends ≥ committed write count
+  // (re-executions add more).
+  auto [hi, lo, wp] = GetParam();
+  WorkloadParams p = small_params();
+  p.high_threads = hi;
+  p.low_threads = lo;
+  p.write_percent = wp;
+  WorkloadResult m = run_workload(VmKind::kModified, p);
+  if (wp == 0) {
+    EXPECT_EQ(m.engine.log_appends, 0u);
+  } else {
+    EXPECT_GT(m.engine.log_appends, 0u);
+  }
+}
+
+TEST_P(WorkloadPropertyTest, DeterministicOnVirtualClock) {
+  auto [hi, lo, wp] = GetParam();
+  WorkloadParams p = small_params();
+  p.high_threads = hi;
+  p.low_threads = lo;
+  p.write_percent = wp;
+  WorkloadResult a = run_workload(VmKind::kModified, p);
+  WorkloadResult b = run_workload(VmKind::kModified, p);
+  EXPECT_EQ(a.high_elapsed_ticks, b.high_elapsed_ticks);
+  EXPECT_EQ(a.overall_elapsed_ticks, b.overall_elapsed_ticks);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.engine.rollbacks_completed, b.engine.rollbacks_completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, WorkloadPropertyTest,
+    ::testing::Values(MixAndWrites{2, 8, 0}, MixAndWrites{2, 8, 60},
+                      MixAndWrites{5, 5, 40}, MixAndWrites{8, 2, 100},
+                      MixAndWrites{1, 1, 20}),
+    [](const ::testing::TestParamInfo<MixAndWrites>& info) {
+      return std::to_string(std::get<0>(info.param)) + "hi" +
+             std::to_string(std::get<1>(info.param)) + "lo_w" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(WorkloadShapeTest, ModifiedVmImprovesHighPriorityElapsedTicks) {
+  // The paper's headline (Figures 5/6 panels a-b): with more low- than
+  // high-priority threads, the revocation VM finishes its high-priority
+  // group markedly earlier.  Virtual ticks make this deterministic.
+  WorkloadParams p = small_params();
+  p.high_threads = 2;
+  p.low_threads = 8;
+  p.write_percent = 40;
+  WorkloadResult u = run_workload(VmKind::kUnmodified, p);
+  WorkloadResult m = run_workload(VmKind::kModified, p);
+  EXPECT_LT(m.high_elapsed_ticks, u.high_elapsed_ticks);
+  EXPECT_GT(m.engine.rollbacks_completed, 0u);
+}
+
+TEST(WorkloadShapeTest, ModifiedVmOverallNotFasterOnTicks) {
+  // Figures 7/8: overall elapsed time on the modified VM is never shorter —
+  // re-executed sections only add work.  (On ticks, logging is free, so
+  // equality is possible at 0 rollbacks.)
+  WorkloadParams p = small_params();
+  p.high_threads = 2;
+  p.low_threads = 8;
+  p.write_percent = 40;
+  WorkloadResult u = run_workload(VmKind::kUnmodified, p);
+  WorkloadResult m = run_workload(VmKind::kModified, p);
+  EXPECT_GE(m.overall_elapsed_ticks * 101 / 100 + 200,
+            u.overall_elapsed_ticks);
+}
+
+}  // namespace
+}  // namespace rvk::harness

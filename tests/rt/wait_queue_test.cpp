@@ -1,0 +1,105 @@
+// WaitQueue: priority ordering with FIFO fairness within a level (§4's
+// prioritized monitor queues).
+#include <gtest/gtest.h>
+
+#include "rt/scheduler.hpp"
+
+namespace rvk::rt {
+namespace {
+
+// Threads need a scheduler to exist; build a throwaway one and park the
+// spawned threads (never run) purely as queue payloads.
+class WaitQueueTest : public ::testing::Test {
+ protected:
+  VThread* make_thread(int priority) {
+    return sched_.spawn("t" + std::to_string(++n_), priority, [] {});
+  }
+
+  Scheduler sched_;
+  int n_ = 0;
+};
+
+TEST_F(WaitQueueTest, EmptyQueue) {
+  WaitQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.pop_best(), nullptr);
+  EXPECT_EQ(q.peek_best(), nullptr);
+  EXPECT_FALSE(q.has_waiter_above(0));
+}
+
+TEST_F(WaitQueueTest, PopsHighestPriorityFirst) {
+  WaitQueue q;
+  VThread* lo = make_thread(2);
+  VThread* hi = make_thread(8);
+  VThread* mid = make_thread(5);
+  q.push(lo);
+  q.push(hi);
+  q.push(mid);
+  EXPECT_EQ(q.pop_best(), hi);
+  EXPECT_EQ(q.pop_best(), mid);
+  EXPECT_EQ(q.pop_best(), lo);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST_F(WaitQueueTest, FifoWithinPriorityLevel) {
+  WaitQueue q;
+  VThread* first = make_thread(5);
+  VThread* second = make_thread(5);
+  VThread* third = make_thread(5);
+  q.push(first);
+  q.push(second);
+  q.push(third);
+  EXPECT_EQ(q.pop_best(), first);
+  EXPECT_EQ(q.pop_best(), second);
+  EXPECT_EQ(q.pop_best(), third);
+}
+
+TEST_F(WaitQueueTest, PeekDoesNotRemove) {
+  WaitQueue q;
+  VThread* hi = make_thread(9);
+  q.push(make_thread(1));
+  q.push(hi);
+  EXPECT_EQ(q.peek_best(), hi);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST_F(WaitQueueTest, RemoveSpecificThread) {
+  WaitQueue q;
+  VThread* a = make_thread(3);
+  VThread* b = make_thread(7);
+  q.push(a);
+  q.push(b);
+  EXPECT_TRUE(q.remove(a));
+  EXPECT_FALSE(q.remove(a));  // already gone
+  EXPECT_EQ(q.pop_best(), b);
+}
+
+TEST_F(WaitQueueTest, HasWaiterAbove) {
+  WaitQueue q;
+  q.push(make_thread(4));
+  q.push(make_thread(6));
+  EXPECT_TRUE(q.has_waiter_above(5));
+  EXPECT_TRUE(q.has_waiter_above(3));
+  EXPECT_FALSE(q.has_waiter_above(6));
+  EXPECT_FALSE(q.has_waiter_above(10));
+}
+
+TEST_F(WaitQueueTest, FifoPreservedAcrossInterleavedPriorities) {
+  WaitQueue q;
+  VThread* lo1 = make_thread(2);
+  VThread* hi1 = make_thread(8);
+  VThread* lo2 = make_thread(2);
+  VThread* hi2 = make_thread(8);
+  q.push(lo1);
+  q.push(hi1);
+  q.push(lo2);
+  q.push(hi2);
+  EXPECT_EQ(q.pop_best(), hi1);
+  EXPECT_EQ(q.pop_best(), hi2);
+  EXPECT_EQ(q.pop_best(), lo1);
+  EXPECT_EQ(q.pop_best(), lo2);
+}
+
+}  // namespace
+}  // namespace rvk::rt

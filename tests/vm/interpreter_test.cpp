@@ -1,0 +1,654 @@
+// vm::Interpreter — the paper's bytecode-level mechanics (§3.1.1/§3.1.2).
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "heap/heap.hpp"
+#include "rt/scheduler.hpp"
+#include "vm/interpreter.hpp"
+
+namespace rvk::vm {
+namespace {
+
+struct Fixture {
+  explicit Fixture(core::EngineConfig cfg = {}) : engine(sched, cfg) {
+    machine.engine = &engine;
+    machine.statics = &heap.statics();
+  }
+
+  heap::HeapObject* add_object(const char* name, std::size_t slots) {
+    machine.objects.push_back(heap.alloc(name, slots));
+    return machine.objects.back();
+  }
+  heap::HeapArray<std::uint64_t>* add_array(std::size_t n) {
+    machine.arrays.push_back(heap.alloc_array<std::uint64_t>(n));
+    return machine.arrays.back();
+  }
+  core::RevocableMonitor* add_monitor(const char* name) {
+    machine.monitors.push_back(engine.make_monitor(name));
+    return machine.monitors.back();
+  }
+
+  // Runs a single program on one green thread and returns its result.
+  VmResult run_single(const Program& p, int priority = rt::kNormPriority) {
+    VmResult r;
+    sched.spawn("vm", priority, [&] { r = execute(machine, p); });
+    sched.run();
+    return r;
+  }
+
+  rt::Scheduler sched;
+  core::Engine engine;
+  heap::Heap heap;
+  Machine machine;
+};
+
+TEST(VmTest, ArithmeticAndStack) {
+  Fixture fx;
+  Program p = Builder()
+                  .push(6)
+                  .push(7)
+                  .mul()
+                  .push(2)
+                  .add()
+                  .halt()
+                  .build();
+  VmResult r = fx.run_single(p);
+  EXPECT_TRUE(r.halted);
+  ASSERT_EQ(r.stack.size(), 1u);
+  EXPECT_EQ(r.stack[0], 44);
+}
+
+TEST(VmTest, LoopWithLocalsAndConditionals) {
+  // sum = 0; for (i = 0; i < 10; ++i) sum += i;  → 45
+  Builder b;
+  auto loop = b.label();
+  auto done = b.label();
+  b.push(0).store(0);          // i = 0
+  b.push(0).store(1);          // sum = 0
+  b.bind(loop);
+  b.load(0).push(10).cmp_lt(); // i < 10
+  b.jz(done);
+  b.load(1).load(0).add().store(1);  // sum += i
+  b.load(0).push(1).add().store(0);  // ++i
+  b.jump(loop);
+  b.bind(done);
+  b.load(1).halt();
+  Fixture fx;
+  VmResult r = fx.run_single(b.build());
+  ASSERT_EQ(r.stack.size(), 1u);
+  EXPECT_EQ(r.stack[0], 45);
+}
+
+TEST(VmTest, HeapAccessThroughAllStoreKinds) {
+  Fixture fx;
+  fx.add_object("o", 2);
+  fx.add_array(4);
+  const std::uint32_t sv = fx.heap.statics().define("sv");
+  Program p = Builder()
+                  .push(11).put_field(0, 1)
+                  .push(2).push(22).put_elem(0)  // arr[2] = 22
+                  .push(33).put_static(sv)
+                  .get_field(0, 1)
+                  .push(2).get_elem(0)
+                  .add()
+                  .get_static(sv)
+                  .add()
+                  .halt()
+                  .build();
+  VmResult r = fx.run_single(p);
+  ASSERT_EQ(r.stack.size(), 1u);
+  EXPECT_EQ(r.stack[0], 66);
+  EXPECT_EQ(fx.machine.objects[0]->get<int>(1), 11);
+}
+
+TEST(VmTest, MonitorSectionCommits) {
+  Fixture fx;
+  fx.add_object("o", 1);
+  fx.add_monitor("m");
+  Program p = Builder()
+                  .monitor_enter(0)
+                  .push(5)
+                  .put_field(0, 0)
+                  .monitor_exit()
+                  .halt()
+                  .build();
+  VmResult r = fx.run_single(p);
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(fx.machine.objects[0]->get<int>(0), 5);
+  EXPECT_EQ(fx.engine.stats().sections_committed, 1u);
+}
+
+// The §3.1.1 centrepiece: values pushed on the operand stack BEFORE
+// monitorenter are consumed inside the section.  A revocation must restore
+// them, or the re-execution would underflow.
+TEST(VmTest, RollbackRestoresOperandStackAndLocals) {
+  Fixture fx;
+  heap::HeapObject* o = fx.add_object("o", 2);
+  fx.add_monitor("m");
+
+  Builder b;
+  auto loop = b.label();
+  auto done = b.label();
+  b.push(30);                 // operand stack before monitorenter: [30]
+  b.push(12);                 //                                    [30 12]
+  b.push(77).store(3);        // local 3 = 77 (to be clobbered inside)
+  b.monitor_enter(0);
+  b.push(0).store(3);         // clobber local 3 inside the section
+  b.push(0).store(0);         // i = 0
+  b.bind(loop);
+  b.load(0).push(1500).cmp_lt();
+  b.jz(done);
+  b.load(0).put_field(0, 0);  // speculative store per iteration
+  b.load(0).push(1).add().store(0);
+  b.jump(loop);
+  b.bind(done);
+  b.add();                    // consumes the PRE-ENTRY operands: 30+12
+  b.put_field(0, 1);          // field1 = 42
+  b.monitor_exit();
+  b.load(3);                  // local 3 back on stack
+  b.halt();
+
+  const Program lo_prog = b.build();
+  VmResult lo_result;
+  fx.sched.spawn("lo", 2, [&] { lo_result = execute(fx.machine, lo_prog); });
+  int hi_saw = -1;
+  fx.sched.spawn("hi", 8, [&] {
+    fx.sched.sleep_for(100);
+    fx.engine.synchronized(*fx.machine.monitors[0],
+                           [&] { hi_saw = o->get<int>(0); });
+  });
+  fx.sched.run();
+
+  EXPECT_TRUE(lo_result.halted);
+  EXPECT_GE(lo_result.rollbacks, 1u);  // it was revoked...
+  EXPECT_EQ(hi_saw, 0);                // ...and hi saw no partial state
+  // The re-execution consumed the RESTORED [30 12] operands:
+  EXPECT_EQ(o->get<int>(1), 42);
+  EXPECT_EQ(o->get<int>(0), 1499);
+  // Local 3 was restored to its pre-entry value at rollback, then the
+  // retry clobbered it again — but the restore is observable because the
+  // retry's clobber writes 0 and the FINAL load(3) sees 0 only if the
+  // re-execution actually ran; a stale 77 would mean no rollback restore
+  // path executed.  Stack at halt: [0].
+  ASSERT_EQ(lo_result.stack.size(), 1u);
+  EXPECT_EQ(lo_result.stack[0], 0);
+}
+
+TEST(VmTest, NestedMonitorsRollbackToOuter) {
+  Fixture fx;
+  heap::HeapObject* o = fx.add_object("o", 2);
+  fx.add_monitor("outer");
+  fx.add_monitor("inner");
+
+  Builder b;
+  auto loop = b.label();
+  auto done = b.label();
+  b.monitor_enter(0);
+  b.push(1).put_field(0, 0);
+  b.monitor_enter(1);
+  b.push(2).put_field(0, 1);
+  b.push(0).store(0);
+  b.bind(loop);
+  b.load(0).push(1500).cmp_lt();
+  b.jz(done);
+  b.load(0).push(1).add().store(0);
+  b.jump(loop);
+  b.bind(done);
+  b.monitor_exit();
+  b.monitor_exit();
+  b.halt();
+
+  const Program lo_prog = b.build();
+  VmResult lo_result;
+  fx.sched.spawn("lo", 2, [&] { lo_result = execute(fx.machine, lo_prog); });
+  int hi0 = -1, hi1 = -1;
+  fx.sched.spawn("hi", 8, [&] {
+    fx.sched.sleep_for(100);
+    fx.engine.synchronized(*fx.machine.monitors[0], [&] {
+      hi0 = o->get<int>(0);
+      hi1 = o->get<int>(1);
+    });
+  });
+  fx.sched.run();
+  EXPECT_TRUE(lo_result.halted);
+  EXPECT_EQ(hi0, 0);  // both frames' writes undone
+  EXPECT_EQ(hi1, 0);
+  EXPECT_GE(lo_result.rollbacks, 1u);
+  EXPECT_EQ(o->get<int>(0), 1);  // retry committed
+  EXPECT_EQ(o->get<int>(1), 2);
+}
+
+TEST(VmTest, UserExceptionRunsHandlerReleasingMonitor) {
+  Fixture fx;
+  heap::HeapObject* o = fx.add_object("o", 1);
+  fx.add_monitor("m");
+  Builder b;
+  auto from = b.label();
+  auto to = b.label();
+  auto handler = b.label();
+  b.bind(from);
+  b.monitor_enter(0);
+  b.push(9).put_field(0, 0);
+  b.throw_user(42);           // abrupt completion inside the section
+  b.monitor_exit();           // never reached
+  b.bind(to);
+  b.push(0).halt();           // never reached
+  b.bind(handler);            // monitor_depth 0: section exited on the way
+  b.halt();                   // stack holds the tag
+  b.on_exception(from, to, handler, /*tag=*/42, /*monitor_depth=*/0);
+  VmResult r = fx.run_single(b.build());
+  EXPECT_TRUE(r.halted);
+  ASSERT_EQ(r.stack.size(), 1u);
+  EXPECT_EQ(r.stack[0], 42);
+  // Java semantics: the monitor was released, the update STANDS.
+  EXPECT_EQ(o->get<int>(0), 9);
+  EXPECT_EQ(fx.machine.monitors[0]->owner(), nullptr);
+}
+
+TEST(VmTest, UnhandledUserExceptionEscapes) {
+  Fixture fx;
+  fx.add_monitor("m");
+  Program p = Builder()
+                  .monitor_enter(0)
+                  .throw_user(7)
+                  .monitor_exit()
+                  .halt()
+                  .build();
+  VmResult r = fx.run_single(p);
+  EXPECT_FALSE(r.halted);
+  EXPECT_EQ(r.escaped_exception, 7);
+  EXPECT_EQ(fx.machine.monitors[0]->owner(), nullptr);  // released
+}
+
+TEST(VmTest, WrongTagHandlerIsSkipped) {
+  Fixture fx;
+  Builder b;
+  auto from = b.label();
+  auto to = b.label();
+  auto handler = b.label();
+  b.bind(from);
+  b.throw_user(1);
+  b.bind(to);
+  b.halt();
+  b.bind(handler);
+  b.push(99).halt();
+  b.on_exception(from, to, handler, /*tag=*/2);  // catches tag 2, not 1
+  VmResult r = fx.run_single(b.build());
+  EXPECT_FALSE(r.halted);
+  EXPECT_EQ(r.escaped_exception, 1);
+}
+
+// §3.1.2's modified exception dispatch, observable at the bytecode level: a
+// catch-all user handler wrapping the synchronized region runs for USER
+// exceptions but must NOT run when the section is revoked — "an aborted
+// synchronized block produces no side-effects".
+TEST(VmTest, RollbackSkipsUserCatchAllHandlers) {
+  Fixture fx;
+  fx.add_object("o", 1);
+  fx.add_monitor("m");
+  const std::uint32_t handler_runs = fx.heap.statics().define("handler_runs");
+
+  auto make_prog = [&](bool throw_user) {
+    Builder b;
+    auto from = b.label();
+    auto to = b.label();
+    auto handler = b.label();
+    auto loop = b.label();
+    auto done = b.label();
+    b.bind(from);
+    b.monitor_enter(0);
+    b.push(0).store(0);
+    b.bind(loop);
+    b.load(0).push(1500).cmp_lt();
+    b.jz(done);
+    b.load(0).put_field(0, 0);
+    b.load(0).push(1).add().store(0);
+    b.jump(loop);
+    b.bind(done);
+    if (throw_user) b.throw_user(5);
+    b.monitor_exit();
+    b.bind(to);
+    b.push(0).halt();
+    b.bind(handler);
+    b.pop();  // discard the exception tag the dispatch pushed
+    // The "finally-ish" catch-all: records that it ran.
+    b.get_static(static_cast<std::int64_t>(handler_runs))
+        .push(1).add()
+        .put_static(static_cast<std::int64_t>(handler_runs));
+    b.push(1).halt();
+    b.on_exception(from, to, handler, /*tag=*/-1, /*monitor_depth=*/0);
+    return b.build();
+  };
+
+  // Run 1: revocation (hi preempts) — the catch-all must NOT run.
+  {
+    const Program lo_prog = make_prog(false);
+    VmResult lo_result;
+    fx.sched.spawn("lo", 2,
+                   [&] { lo_result = execute(fx.machine, lo_prog); });
+    fx.sched.spawn("hi", 8, [&] {
+      fx.sched.sleep_for(100);
+      fx.engine.synchronized(*fx.machine.monitors[0], [] {});
+    });
+    fx.sched.run();
+    EXPECT_GE(lo_result.rollbacks, 1u);
+    ASSERT_EQ(lo_result.stack.size(), 1u);
+    EXPECT_EQ(lo_result.stack[0], 0);  // normal path, not the handler
+    EXPECT_EQ(fx.heap.statics().get<int>(handler_runs), 0);
+  }
+  // Run 2: a user exception in the same region — the catch-all DOES run.
+  {
+    VmResult r = fx.run_single(make_prog(true));
+    ASSERT_EQ(r.stack.size(), 1u);
+    EXPECT_EQ(r.stack[0], 1);  // handler path
+    EXPECT_EQ(fx.heap.statics().get<int>(handler_runs), 1);
+  }
+}
+
+TEST(VmTest, NativePinPreventsRevocation) {
+  Fixture fx;
+  fx.add_object("o", 1);
+  fx.add_monitor("m");
+  Builder b;
+  auto loop = b.label();
+  auto done = b.label();
+  b.monitor_enter(0);
+  b.native();                  // e.g. printed to the console (§2.2)
+  b.push(0).store(0);
+  b.bind(loop);
+  b.load(0).push(1500).cmp_lt();
+  b.jz(done);
+  b.load(0).push(1).add().store(0);
+  b.jump(loop);
+  b.bind(done);
+  b.monitor_exit();
+  b.halt();
+  const Program lo_prog = b.build();
+  VmResult lo_result;
+  std::vector<char> order;
+  fx.sched.spawn("lo", 2, [&] {
+    lo_result = execute(fx.machine, lo_prog);
+    order.push_back('l');
+  });
+  fx.sched.spawn("hi", 8, [&] {
+    fx.sched.sleep_for(100);
+    fx.engine.synchronized(*fx.machine.monitors[0], [] {});
+    order.push_back('h');
+  });
+  fx.sched.run();
+  EXPECT_EQ(lo_result.rollbacks, 0u);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'l');  // classical inversion persisted
+}
+
+TEST(VmTest, BytecodeDeadlockBrokenByRevocation) {
+  Fixture fx;
+  fx.add_monitor("L1");
+  fx.add_monitor("L2");
+  auto cross = [&](int first, int second) {
+    Builder b;
+    auto loop = b.label();
+    auto done = b.label();
+    b.monitor_enter(first);
+    b.push(0).store(0);
+    b.bind(loop);
+    b.load(0).push(300).cmp_lt();
+    b.jz(done);
+    b.load(0).push(1).add().store(0);
+    b.jump(loop);
+    b.bind(done);
+    b.monitor_enter(second);
+    b.monitor_exit();
+    b.monitor_exit();
+    b.halt();
+    return b.build();
+  };
+  const Program p1 = cross(0, 1);
+  const Program p2 = cross(1, 0);
+  VmResult r1, r2;
+  fx.sched.spawn("T1", 5, [&] { r1 = execute(fx.machine, p1); });
+  fx.sched.spawn("T2", 5, [&] { r2 = execute(fx.machine, p2); });
+  fx.sched.run();
+  EXPECT_TRUE(r1.halted);
+  EXPECT_TRUE(r2.halted);
+  EXPECT_GE(fx.engine.stats().deadlocks_broken, 1u);
+  EXPECT_GE(r1.rollbacks + r2.rollbacks, 1u);
+}
+
+TEST(VmTest, WaitNotifyAcrossPrograms) {
+  Fixture fx;
+  heap::HeapObject* flag = fx.add_object("flag", 1);
+  fx.add_monitor("m");
+  // Waiter: enter; while (flag == 0) wait; exit.
+  Builder wb;
+  auto check = wb.label();
+  auto out = wb.label();
+  wb.monitor_enter(0);
+  wb.bind(check);
+  wb.get_field(0, 0);
+  auto cont = wb.label();
+  wb.jz(cont);
+  wb.jump(out);
+  wb.bind(cont);
+  wb.wait_on(0);
+  wb.jump(check);
+  wb.bind(out);
+  wb.monitor_exit();
+  wb.halt();
+  // Notifier: enter; flag = 1; notifyAll; exit.
+  Program notifier = Builder()
+                         .sleep(200)
+                         .monitor_enter(0)
+                         .push(1)
+                         .put_field(0, 0)
+                         .notify_all(0)
+                         .monitor_exit()
+                         .halt()
+                         .build();
+  const Program waiter = wb.build();
+  VmResult wr, nr;
+  fx.sched.spawn("waiter", 5, [&] { wr = execute(fx.machine, waiter); });
+  fx.sched.spawn("notifier", 5, [&] { nr = execute(fx.machine, notifier); });
+  fx.sched.run();
+  EXPECT_TRUE(wr.halted);
+  EXPECT_TRUE(nr.halted);
+  EXPECT_EQ(flag->get<int>(0), 1);
+}
+
+
+TEST(VmTest, RollbackTargetingEnclosingCppSectionPropagates) {
+  // execute() called INSIDE an engine.synchronized body: a revocation of
+  // the enclosing C++ section must unwind all VM frames and propagate to
+  // the enclosing synchronized's own handler, which re-executes everything.
+  Fixture fx;
+  heap::HeapObject* o = fx.add_object("o", 2);
+  core::RevocableMonitor* outer = fx.add_monitor("outer");
+  fx.add_monitor("inner");
+
+  Builder b;
+  auto loop = b.label();
+  auto done = b.label();
+  b.monitor_enter(1);  // the VM program uses the INNER monitor
+  b.push(1).put_field(0, 1);
+  b.push(0).store(0);
+  b.bind(loop);
+  b.load(0).push(1500).cmp_lt();
+  b.jz(done);
+  b.load(0).push(1).add().store(0);
+  b.jump(loop);
+  b.bind(done);
+  b.monitor_exit();
+  b.halt();
+  const Program prog = b.build();
+
+  int outer_runs = 0;
+  bool vm_halted = false;
+  fx.sched.spawn("lo", 2, [&] {
+    fx.engine.synchronized(*outer, [&] {
+      ++outer_runs;
+      o->set<int>(0, 7);
+      VmResult r = execute(fx.machine, prog);
+      vm_halted = r.halted;
+    });
+  });
+  int hi0 = -1, hi1 = -1;
+  fx.sched.spawn("hi", 8, [&] {
+    fx.sched.sleep_for(100);
+    fx.engine.synchronized(*outer, [&] {
+      hi0 = o->get<int>(0);
+      hi1 = o->get<int>(1);
+    });
+  });
+  fx.sched.run();
+  EXPECT_EQ(outer_runs, 2);  // the C++ section re-executed (VM included)
+  EXPECT_TRUE(vm_halted);
+  EXPECT_EQ(hi0, 0);  // both the C++ write and the VM's writes were undone
+  EXPECT_EQ(hi1, 0);
+  EXPECT_EQ(o->get<int>(0), 7);
+  EXPECT_EQ(o->get<int>(1), 1);
+}
+
+
+TEST(VmTest, MethodCallsAndReturns) {
+  Fixture fx;
+  // square(x) = x*x
+  Program square = Builder().with_locals(1).load(0).dup().mul().ret().build();
+  fx.machine.programs.push_back(&square);
+  Program main_prog = Builder()
+                          .push(6)
+                          .call(0, 1)
+                          .push(8)
+                          .call(0, 1)
+                          .add()  // 36 + 64
+                          .halt()
+                          .build();
+  VmResult r = fx.run_single(main_prog);
+  EXPECT_TRUE(r.halted);
+  ASSERT_EQ(r.stack.size(), 1u);
+  EXPECT_EQ(r.stack[0], 100);
+}
+
+TEST(VmTest, SynchronizedMethodTransformation) {
+  // §3.1.1: the synchronized method becomes a non-synchronized body plus a
+  // wrapper whose body is monitorenter; call; monitorexit.
+  Fixture fx;
+  heap::HeapObject* o = fx.add_object("o", 1);
+  fx.add_monitor("m");
+  // body(x): o.f0 = o.f0 + x; return o.f0
+  Program body = Builder()
+                     .with_locals(1)
+                     .get_field(0, 0)
+                     .load(0)
+                     .add()
+                     .dup()
+                     .put_field(0, 0)
+                     .ret()
+                     .build();
+  fx.machine.programs.push_back(&body);          // program 0
+  Program wrapper = make_synchronized_method(0, /*monitor=*/0, /*nargs=*/1);
+  fx.machine.programs.push_back(&wrapper);       // program 1
+  Program main_prog = Builder()
+                          .push(5)
+                          .call(1, 1)
+                          .push(7)
+                          .call(1, 1)
+                          .halt()
+                          .build();
+  VmResult r = fx.run_single(main_prog);
+  EXPECT_TRUE(r.halted);
+  ASSERT_EQ(r.stack.size(), 2u);
+  EXPECT_EQ(r.stack[0], 5);
+  EXPECT_EQ(r.stack[1], 12);
+  EXPECT_EQ(o->get<int>(0), 12);
+  EXPECT_EQ(fx.engine.stats().sections_committed, 2u);
+}
+
+TEST(VmTest, RollbackUnwindsMethodActivations) {
+  // The monitorenter happens in the WRAPPER method; the long loop runs in a
+  // CALLED method.  A revocation must discard the callee's activation and
+  // transfer control back to the wrapper's monitorenter.
+  Fixture fx;
+  heap::HeapObject* o = fx.add_object("o", 2);
+  fx.add_monitor("m");
+  Builder bb;
+  auto loop = bb.label();
+  auto done = bb.label();
+  bb.with_locals(2);
+  bb.load(0).put_field(0, 1);  // record the argument (speculatively)
+  bb.push(0).store(1);
+  bb.bind(loop);
+  bb.load(1).push(1500).cmp_lt();
+  bb.jz(done);
+  bb.load(1).put_field(0, 0);
+  bb.load(1).push(1).add().store(1);
+  bb.jump(loop);
+  bb.bind(done);
+  bb.push(123).ret();
+  Program body = bb.build();
+  fx.machine.programs.push_back(&body);    // program 0
+  Program wrapper = make_synchronized_method(0, 0, 1);
+  fx.machine.programs.push_back(&wrapper); // program 1
+  Program main_prog =
+      Builder().push(77).call(1, 1).halt().build();
+
+  VmResult lo_result;
+  fx.sched.spawn("lo", 2,
+                 [&] { lo_result = execute(fx.machine, main_prog); });
+  int hi0 = -1;
+  fx.sched.spawn("hi", 8, [&] {
+    fx.sched.sleep_for(100);
+    fx.engine.synchronized(*fx.machine.monitors[0],
+                           [&] { hi0 = o->get<int>(0); });
+  });
+  fx.sched.run();
+  EXPECT_TRUE(lo_result.halted);
+  EXPECT_GE(lo_result.rollbacks, 1u);
+  EXPECT_EQ(hi0, 0);                 // callee's writes undone
+  ASSERT_EQ(lo_result.stack.size(), 1u);
+  EXPECT_EQ(lo_result.stack[0], 123);  // the retry returned normally
+  EXPECT_EQ(o->get<int>(0), 1499);
+  EXPECT_EQ(o->get<int>(1), 77);     // the argument was re-forwarded intact
+}
+
+TEST(VmTest, UserExceptionPropagatesAcrossMethods) {
+  // The callee throws with no handler; the CALLER's table catches it, and
+  // the synchronized section entered in the callee is released on the way
+  // (abrupt completion; its update stands).
+  Fixture fx;
+  heap::HeapObject* o = fx.add_object("o", 1);
+  fx.add_monitor("m");
+  Program thrower = Builder()
+                        .monitor_enter(0)
+                        .push(3)
+                        .put_field(0, 0)
+                        .throw_user(9)
+                        .monitor_exit()
+                        .ret()
+                        .build();
+  fx.machine.programs.push_back(&thrower);
+  Builder mb;
+  auto from = mb.label();
+  auto to = mb.label();
+  auto handler = mb.label();
+  mb.bind(from);
+  mb.call(0, 0);
+  mb.bind(to);
+  mb.push(0).halt();
+  mb.bind(handler);
+  mb.halt();  // stack: [tag]
+  mb.on_exception(from, to, handler, /*tag=*/9, /*monitor_depth=*/0);
+  VmResult r = fx.run_single(mb.build());
+  EXPECT_TRUE(r.halted);
+  ASSERT_EQ(r.stack.size(), 1u);
+  EXPECT_EQ(r.stack[0], 9);
+  EXPECT_EQ(o->get<int>(0), 3);  // update stands
+  EXPECT_EQ(fx.machine.monitors[0]->owner(), nullptr);  // released
+}
+
+TEST(VmTest, DisassemblyIsReadable) {
+  EXPECT_EQ(to_string(Instr{Op::kPush, 7, 0}), "push 7 0");
+  EXPECT_EQ(to_string(Instr{Op::kMonitorEnter, 2, 0}), "monitorenter 2 0");
+}
+
+}  // namespace
+}  // namespace rvk::vm
