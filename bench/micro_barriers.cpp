@@ -6,6 +6,13 @@
 // These are the per-operation overheads the paper's modified VM charges on
 // all threads; Figures 5–8's "influence of different read-write ratios … is
 // small" claim rests on them being a few nanoseconds.
+//
+// The *Analyzed variants rerun the same loops with the revocation-safety
+// analyzer installed (EngineConfig::analyze).  Their deltas price the
+// checker: lockset + bypass lint per traced access, one extra field test
+// per yield point.  The plain variants are the analyzer-off regression
+// baseline — they must not move when the analyzer code is linked in,
+// because every hook is a null-checked function pointer that stays null.
 #include <benchmark/benchmark.h>
 
 #include "core/engine.hpp"
@@ -122,6 +129,75 @@ void BM_YieldPointNoSwitch(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_YieldPointNoSwitch);
+
+core::EngineConfig analyzed_config() {
+  core::EngineConfig cfg;
+  cfg.analyze = true;
+  return cfg;
+}
+
+void BM_WriteOutsideSectionAnalyzed(benchmark::State& state) {
+  // Analyzer cost on the write fast path: the barrier itself is unchanged,
+  // the trace hook feeds one single-owner (kExclusive) lockset update.
+  rt::Scheduler sched;
+  core::Engine eng(sched, analyzed_config());
+  heap::Heap h;
+  heap::HeapObject* o = h.alloc("o", 1);
+  sched.spawn("bench", rt::kNormPriority, [&] {
+    std::uint64_t v = 0;
+    for (auto _ : state) {
+      o->set_word(0, ++v);
+      benchmark::ClobberMemory();
+    }
+  });
+  sched.run();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WriteOutsideSectionAnalyzed);
+
+void BM_WriteInsideSectionAnalyzed(benchmark::State& state) {
+  // Analyzer cost on the write slow path: lockset update plus the
+  // barrier-bypass lint (undo-log tail must cover the stored location).
+  rt::Scheduler sched;
+  core::Engine eng(sched, analyzed_config());
+  heap::Heap h;
+  heap::HeapObject* o = h.alloc("o", 1);
+  core::RevocableMonitor* m = eng.make_monitor("m");
+  sched.spawn("bench", rt::kNormPriority, [&] {
+    eng.synchronized(*m, [&] {
+      rt::VThread* t = sched.current_thread();
+      std::uint64_t v = 0;
+      for (auto _ : state) {
+        o->set_word(0, ++v);
+        if (t->undo_log.size() >= (1u << 18)) {
+          t->undo_log.rollback_to(0);
+        }
+        benchmark::ClobberMemory();
+      }
+      t->undo_log.rollback_to(0);
+    });
+  });
+  sched.run();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WriteInsideSectionAnalyzed);
+
+void BM_YieldPointAnalyzed(benchmark::State& state) {
+  // Yield point with region marking live: one field test of the thread's
+  // forbidden-region depth (zero here, so the probe never fires).
+  rt::SchedulerConfig cfg;
+  cfg.quantum = 1 << 30;
+  rt::Scheduler sched(cfg);
+  core::Engine eng(sched, analyzed_config());
+  sched.spawn("bench", rt::kNormPriority, [&] {
+    for (auto _ : state) {
+      sched.yield_point();
+    }
+  });
+  sched.run();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_YieldPointAnalyzed);
 
 }  // namespace
 

@@ -1,0 +1,293 @@
+#include "analysis/hooks.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "core/revocable_monitor.hpp"
+#include "log/undo_log.hpp"
+#include "rt/scheduler.hpp"
+
+namespace rvk::analysis {
+
+namespace detail {
+void (*g_frame_hook)(const FrameEvent&) = nullptr;
+}  // namespace detail
+
+namespace {
+
+std::unique_ptr<Analyzer> g_analyzer;
+
+void access_trampoline(const heap::TraceAccess& a) { g_analyzer->on_access(a); }
+void frame_trampoline(const FrameEvent& e) { g_analyzer->on_frame(e); }
+void switch_trampoline(rt::VThread* t, const char* where) {
+  g_analyzer->on_forbidden_switch(t, where);
+}
+
+const char* monitor_name(const core::RevocableMonitor* m) {
+  return m != nullptr ? m->name().c_str() : "?";
+}
+
+const char* pin_reason_name(core::PinReason r) {
+  switch (r) {
+    case core::PinReason::kNone:
+      return "none";
+    case core::PinReason::kDependency:
+      return "dependency";
+    case core::PinReason::kVolatile:
+      return "volatile";
+    case core::PinReason::kNativeCall:
+      return "native-call";
+    case core::PinReason::kWait:
+      return "wait";
+    case core::PinReason::kBudget:
+      return "budget";
+    case core::PinReason::kManual:
+      return "manual";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool env_enabled() {
+  // Same convention as harness/env.cpp's env_flag: set and not "0...".
+  const char* v = std::getenv("RVK_ANALYZE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+Analyzer* Analyzer::install() {
+  RVK_CHECK_MSG(g_analyzer == nullptr,
+                "revocation-safety analyzer already installed");
+  g_analyzer.reset(new Analyzer());
+  heap::set_analysis_hook(&access_trampoline);
+  detail::g_frame_hook = &frame_trampoline;
+  rt::set_switch_probe(&switch_trampoline);
+  rt::set_region_marking(true);
+  return g_analyzer.get();
+}
+
+void Analyzer::uninstall() {
+  if (g_analyzer == nullptr) return;
+  heap::set_analysis_hook(nullptr);
+  detail::g_frame_hook = nullptr;
+  rt::set_switch_probe(nullptr);
+  rt::set_region_marking(false);
+  // Surface breaches even from binaries that never ask for the report
+  // (fig/bench runs under RVK_ANALYZE=1).
+  if (!g_analyzer->report_.violations.empty()) g_analyzer->print(std::cerr);
+  g_analyzer.reset();
+}
+
+Analyzer* Analyzer::active() { return g_analyzer.get(); }
+
+void Analyzer::print(std::ostream& os) const { report_.print(os); }
+
+void Analyzer::record(Violation v) {
+  report_.violations.push_back(std::move(v));
+}
+
+void Analyzer::on_access(const heap::TraceAccess& a) {
+  rt::VThread* t = rt::current_vthread();
+  // Host code (no scheduler running) cannot interleave with green threads;
+  // its accesses carry no race or rollback risk.
+  if (t == nullptr) return;
+  ++report_.accesses_checked;
+
+  using K = heap::TraceAccess::Kind;
+
+  if (a.kind == K::kUnloggedWrite) {
+    // An elided barrier is only sound outside synchronized sections; inside
+    // one, a rollback could not revert the store (§3.1.2).
+    if (t->sync_depth > 0) {
+      Violation v;
+      v.kind = Violation::Kind::kBarrierBypass;
+      v.tid = t->id();
+      v.base = a.base;
+      v.offset = a.offset;
+      v.frame = t->current_frame_id;
+      std::ostringstream os;
+      os << "unlogged store at (" << a.base << ", " << a.offset
+         << ") inside a synchronized section (sync_depth=" << t->sync_depth
+         << ", frame " << t->current_frame_id << ")";
+      v.detail = os.str();
+      record(std::move(v));
+    }
+    // An unlogged store asserts thread-locality; it is not lockset material
+    // (the in-section case was just flagged, the rest is pre-publication).
+    return;
+  }
+
+  if (a.kind == K::kVolatileRead || a.kind == K::kVolatileWrite) {
+    // Volatiles are synchronization, not data (JLS); feeding them to the
+    // lockset would flag every §2.2 / Figure-3 volatile handshake.  Undo-log
+    // coverage still applies to volatile stores (EntryKind::kVolatileSlot).
+    if (a.kind == K::kVolatileWrite) check_logged_store(t, a);
+    return;
+  }
+
+  if (a.kind == K::kWrite) check_logged_store(t, a);
+
+  collect_held(t);
+  LocksetTable::Outcome o = lockset_.on_access(
+      LocKey{a.base, a.offset}, t->id(), a.kind == K::kWrite, held_);
+  report_.locations_tracked = lockset_.size();
+  if (o.race) {
+    Violation v;
+    v.kind = Violation::Kind::kLocksetRace;
+    v.tid = t->id();
+    v.base = a.base;
+    v.offset = a.offset;
+    v.frame = t->current_frame_id;
+    std::ostringstream os;
+    os << (a.kind == K::kWrite ? "write" : "read") << " of (" << a.base << ", "
+       << a.offset << ") by '" << t->name()
+       << "' emptied the candidate lockset (holds ";
+    if (held_.empty()) {
+      os << "no monitor";
+    } else {
+      for (std::size_t i = 0; i < held_.size(); ++i) {
+        os << (i != 0 ? ", " : "") << "'"
+           << monitor_name(
+                  static_cast<const core::RevocableMonitor*>(held_[i]))
+           << "'";
+      }
+    }
+    os << "): no monitor consistently guards this write-shared location";
+    v.detail = os.str();
+    record(std::move(v));
+  }
+}
+
+void Analyzer::check_logged_store(rt::VThread* t, const heap::TraceAccess& a) {
+  if (t->sync_depth == 0) return;  // outside a section stores are permanent
+  ++report_.bypass_checks;
+  // With dedup on, a repeat store to an already-logged location legitimately
+  // skips the append; coverage would need the dedup table's view.
+  if (heap::dedup_logging()) return;
+  // Accessors trace immediately after the barrier, so a covered store's
+  // entry is at the log tail, under the same (base, offset) identity.
+  const log::UndoLog& ul = t->undo_log;
+  const bool covered = !ul.empty() &&
+                       ul.entry(ul.size() - 1).base == a.base &&
+                       ul.entry(ul.size() - 1).offset == a.offset;
+  if (covered) return;
+  Violation v;
+  v.kind = Violation::Kind::kBarrierBypass;
+  v.tid = t->id();
+  v.base = a.base;
+  v.offset = a.offset;
+  v.frame = t->current_frame_id;
+  std::ostringstream os;
+  os << "in-section store to (" << a.base << ", " << a.offset
+     << ") by '" << t->name()
+     << "' has no matching undo-log entry at the log tail";
+  v.detail = os.str();
+  record(std::move(v));
+}
+
+void Analyzer::collect_held(rt::VThread* t) {
+  held_.clear();
+  auto it = frames_of_.find(t->id());
+  if (it == frames_of_.end() || it->second == nullptr) return;
+  for (const core::Frame& f : *it->second) {
+    const void* m = f.monitor;
+    if (std::find(held_.begin(), held_.end(), m) == held_.end()) {
+      held_.push_back(m);
+    }
+  }
+}
+
+void Analyzer::on_frame(const FrameEvent& e) {
+  ++report_.frame_events;
+  // Cache a pointer to the thread's *live* frame stack: held-monitor sets
+  // for the lockset always reflect the current stack, not the event's
+  // snapshot in time.
+  if (e.thread != nullptr) frames_of_[e.thread->id()] = e.frames;
+  switch (e.kind) {
+    case FrameEvent::Kind::kEnter:
+    case FrameEvent::Kind::kCommit:
+    case FrameEvent::Kind::kAbort:
+      break;
+    case FrameEvent::Kind::kPin:
+      audit_pin_closure(e);
+      break;
+    case FrameEvent::Kind::kDeliver:
+      audit_pin_closure(e);
+      audit_delivery(e);
+      break;
+  }
+}
+
+// §2.2: non-revocability is upward-closed — "all sections enclosing a
+// non-revocable section are also non-revocable".  Frame ids increase with
+// nesting depth, so the pinned frames must form a prefix of the stack.
+void Analyzer::audit_pin_closure(const FrameEvent& e) {
+  if (e.frames == nullptr) return;
+  bool seen_revocable = false;
+  for (const core::Frame& f : *e.frames) {
+    if (!f.nonrevocable) {
+      seen_revocable = true;
+      continue;
+    }
+    if (!seen_revocable) continue;
+    if (std::find(pin_reported_.begin(), pin_reported_.end(), f.id) !=
+        pin_reported_.end()) {
+      continue;
+    }
+    pin_reported_.push_back(f.id);
+    Violation v;
+    v.kind = Violation::Kind::kPinClosure;
+    v.tid = e.thread != nullptr ? e.thread->id() : 0;
+    v.frame = f.id;
+    std::ostringstream os;
+    os << "frame " << f.id << " (monitor '" << monitor_name(f.monitor)
+       << "', pin reason " << pin_reason_name(f.pin_reason)
+       << ") is pinned but an enclosing frame is still revocable — "
+          "upward closure (§2.2) broken";
+    v.detail = os.str();
+    record(std::move(v));
+  }
+}
+
+// Delivery unwinds and aborts every active frame with id >= the target's;
+// any pinned frame in that range would be rolled back despite its pin —
+// exactly the unsoundness non-revocability exists to prevent.
+void Analyzer::audit_delivery(const FrameEvent& e) {
+  if (e.frames == nullptr) return;
+  for (const core::Frame& f : *e.frames) {
+    if (f.id < e.frame_id || !f.nonrevocable) continue;
+    Violation v;
+    v.kind = Violation::Kind::kPinClosure;
+    v.tid = e.thread != nullptr ? e.thread->id() : 0;
+    v.frame = f.id;
+    std::ostringstream os;
+    os << "revocation targeting frame " << e.frame_id
+       << " would roll back pinned frame " << f.id << " (monitor '"
+       << monitor_name(f.monitor) << "', pin reason "
+       << pin_reason_name(f.pin_reason) << ")";
+    v.detail = os.str();
+    record(std::move(v));
+  }
+}
+
+void Analyzer::on_forbidden_switch(rt::VThread* t, const char* where) {
+  Violation v;
+  v.kind = Violation::Kind::kForbiddenRegion;
+  v.tid = t != nullptr ? t->id() : 0;
+  v.frame = t != nullptr ? t->current_frame_id : 0;
+  std::ostringstream os;
+  os << where << " reached inside a forbidden region";
+  if (t != nullptr) {
+    os << " (thread '" << t->name()
+       << "', depth " << t->forbidden_region_depth << ")";
+  }
+  os << " — commit/abort and monitor release paths must stay atomic";
+  v.detail = os.str();
+  record(std::move(v));
+}
+
+}  // namespace rvk::analysis

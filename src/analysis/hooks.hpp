@@ -1,0 +1,122 @@
+// The revocation-safety analyzer: install points and the Analyzer itself.
+//
+// An always-available dynamic checker for the invariants the preemption
+// scheme rests on.  It observes the system through three pre-existing seams,
+// each a null-checked function pointer so the analyzer-off fast path costs
+// one predicted-not-taken test:
+//
+//  * heap::set_analysis_hook       — every managed read/write/volatile/
+//                                    unlogged access (barrier trace dispatch)
+//  * rt::set_switch_probe          — yield points & blocking calls reached
+//                                    inside a ForbiddenRegionGuard
+//  * analysis::detail::g_frame_hook — core::Engine frame lifecycle (below)
+//
+// It detects, online and deterministically (see report.hpp for the classes):
+// lockset races, barrier bypasses, forbidden-region switch points, and
+// pin-closure breaches.
+//
+// Enabled per engine via EngineConfig::analyze or process-wide via the
+// RVK_ANALYZE=1 environment variable; core::Engine installs the analyzer in
+// its constructor and uninstalls it in its destructor.
+//
+// Layering: analysis/ depends on heap/, rt/ and *headers* of core/
+// (frame.hpp and revocable_monitor.hpp are usable without core's objects);
+// core/ links analysis/ and emits FrameEvents through the inline dispatcher
+// below.  This keeps the library dependency graph acyclic.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/lockset.hpp"
+#include "analysis/report.hpp"
+#include "core/frame.hpp"
+#include "heap/barriers.hpp"
+#include "rt/vthread.hpp"
+
+namespace rvk::analysis {
+
+// One engine frame-lifecycle notification.  `frames` points at the owning
+// thread's live frame stack (post-push for kEnter, pre-pop for kCommit /
+// kAbort) and is valid only for the duration of the callback.
+struct FrameEvent {
+  enum class Kind : std::uint8_t {
+    kEnter,    // frame pushed (section entered or re-entered)
+    kCommit,   // innermost frame about to commit
+    kAbort,    // innermost frame about to be rolled back
+    kPin,      // one or more frames were marked non-revocable
+    kDeliver,  // revocation about to be delivered (rollback exception throw)
+  };
+  Kind kind;
+  rt::VThread* thread;
+  // Frame the event is about: the entered/committed/aborted frame, the
+  // innermost frame just pinned, or the delivery's target frame.
+  std::uint64_t frame_id;
+  const core::RevocableMonitor* monitor;  // kEnter/kCommit/kAbort, else null
+  const std::vector<core::Frame>* frames;
+};
+
+namespace detail {
+extern void (*g_frame_hook)(const FrameEvent&);
+}  // namespace detail
+
+// Engine-side dispatch; mirrors heap::trace_access's null fast path.
+inline void frame_event(const FrameEvent& e) {
+  if (detail::g_frame_hook != nullptr) [[unlikely]] detail::g_frame_hook(e);
+}
+
+// True when RVK_ANALYZE is set to a non-empty value other than "0".
+bool env_enabled();
+
+// Process-global analyzer.  At most one instance is installed at a time
+// (mirroring the one-Engine-per-process invariant); core::Engine owns the
+// install/uninstall pairing when analysis is enabled.
+class Analyzer {
+ public:
+  // Installs a fresh analyzer into all three seams and enables
+  // forbidden-region marking.  Must not already be installed.
+  static Analyzer* install();
+
+  // Tears the hooks back out.  If violations were recorded, prints the
+  // report to stderr first (so fig/bench binaries surface breaches without
+  // bespoke plumbing).  No-op when not installed.
+  static void uninstall();
+
+  // The installed analyzer, or nullptr.
+  static Analyzer* active();
+
+  const AnalysisReport& report() const { return report_; }
+  const LocksetTable& lockset() const { return lockset_; }
+  void print(std::ostream& os) const;
+
+  // Hook bodies (public so the trampolines and tests can drive them
+  // directly; synthetic FrameEvents are how pin-closure breaches are
+  // unit-tested without corrupting a live engine).
+  void on_access(const heap::TraceAccess& a);
+  void on_frame(const FrameEvent& e);
+  void on_forbidden_switch(rt::VThread* t, const char* where);
+
+ private:
+  Analyzer() = default;
+
+  void record(Violation v);
+  void check_logged_store(rt::VThread* t, const heap::TraceAccess& a);
+  void collect_held(rt::VThread* t);
+  void audit_pin_closure(const FrameEvent& e);
+  void audit_delivery(const FrameEvent& e);
+
+  AnalysisReport report_;
+  LocksetTable lockset_;
+  // Latest-known frame stack per thread id, refreshed by every FrameEvent.
+  // Held-monitor sets for the lockset are derived from it; threads with no
+  // engine activity yet hold nothing.
+  std::unordered_map<std::uint32_t, const std::vector<core::Frame>*> frames_of_;
+  std::vector<const void*> held_;  // scratch, reused across accesses
+  // Frames already reported for a closure breach (frame events repeat while
+  // the breach persists; one report per frame is enough).
+  std::vector<std::uint64_t> pin_reported_;
+};
+
+}  // namespace rvk::analysis

@@ -1,0 +1,91 @@
+#include "analysis/lockset.hpp"
+
+#include <algorithm>
+
+namespace rvk::analysis {
+
+const char* state_name(LocState s) {
+  switch (s) {
+    case LocState::kVirgin:
+      return "virgin";
+    case LocState::kExclusive:
+      return "exclusive";
+    case LocState::kShared:
+      return "shared";
+    case LocState::kSharedModified:
+      return "shared-modified";
+  }
+  return "?";
+}
+
+void LocksetTable::intersect(std::vector<const void*>& c,
+                             const std::vector<const void*>& held) {
+  std::erase_if(c, [&held](const void* m) {
+    return std::find(held.begin(), held.end(), m) == held.end();
+  });
+}
+
+LocksetTable::Outcome LocksetTable::on_access(
+    LocKey key, std::uint32_t tid, bool is_write,
+    const std::vector<const void*>& held) {
+  Location& loc = locs_[key];
+  const bool locked = !held.empty();
+
+  switch (loc.state) {
+    case LocState::kVirgin:
+      loc.state = LocState::kExclusive;
+      loc.owner_tid = tid;
+      break;
+
+    case LocState::kExclusive:
+      if (tid == loc.owner_tid) break;
+      // Second thread.  Lockless reads are legitimized by the §2.2 JMM
+      // guard (writer-mark escalation pins the writer), so they do not
+      // transition out of exclusive.
+      if (!is_write && !locked) break;
+      // C(v) is initialized from the *second* thread's held set; the first
+      // thread refines it on its next write / locked read.  This is the
+      // standard "exclusive optimization": it tolerates lock-free
+      // initialization by an allocating thread before publication.
+      loc.lockset = held;
+      loc.lockset_valid = true;
+      loc.state = is_write ? LocState::kSharedModified : LocState::kShared;
+      break;
+
+    case LocState::kShared:
+      if (!is_write && !locked) break;  // lockless read: no evidence
+      intersect(loc.lockset, held);
+      if (is_write) loc.state = LocState::kSharedModified;
+      break;
+
+    case LocState::kSharedModified:
+      if (!is_write && !locked) break;  // lockless read: no evidence
+      intersect(loc.lockset, held);
+      break;
+  }
+
+  Outcome out;
+  out.state = loc.state;
+  // Report when the candidate set empties while write-shared: no monitor
+  // consistently guarded a location that two threads write (or write+read
+  // under inconsistent locks).  Once per location.
+  if (loc.state == LocState::kSharedModified && loc.lockset_valid &&
+      loc.lockset.empty() && !loc.reported) {
+    loc.reported = true;
+    out.race = true;
+  }
+  return out;
+}
+
+std::vector<const void*> LocksetTable::lockset_of(LocKey loc) const {
+  auto it = locs_.find(loc);
+  if (it == locs_.end()) return {};
+  return it->second.lockset;
+}
+
+LocState LocksetTable::state_of(LocKey loc) const {
+  auto it = locs_.find(loc);
+  return it == locs_.end() ? LocState::kVirgin : it->second.state;
+}
+
+}  // namespace rvk::analysis

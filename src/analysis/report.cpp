@@ -1,0 +1,49 @@
+#include "analysis/report.hpp"
+
+#include <ostream>
+
+namespace rvk::analysis {
+
+const char* kind_name(Violation::Kind k) {
+  switch (k) {
+    case Violation::Kind::kLocksetRace:
+      return "lockset-race";
+    case Violation::Kind::kBarrierBypass:
+      return "barrier-bypass";
+    case Violation::Kind::kForbiddenRegion:
+      return "forbidden-region";
+    case Violation::Kind::kPinClosure:
+      return "pin-closure";
+  }
+  return "?";
+}
+
+std::uint64_t AnalysisReport::count(Violation::Kind k) const {
+  std::uint64_t n = 0;
+  for (const Violation& v : violations) {
+    if (v.kind == k) ++n;
+  }
+  return n;
+}
+
+void AnalysisReport::print(std::ostream& os) const {
+  os << "=== revocation-safety analyzer ===\n"
+     << "accesses checked     : " << accesses_checked << "\n"
+     << "in-section stores    : " << bypass_checks << "\n"
+     << "frame events         : " << frame_events << "\n"
+     << "locations tracked    : " << locations_tracked << "\n"
+     << "violations           : " << violations.size();
+  if (!violations.empty()) {
+    os << "  (lockset-race " << count(Violation::Kind::kLocksetRace)
+       << ", barrier-bypass " << count(Violation::Kind::kBarrierBypass)
+       << ", forbidden-region " << count(Violation::Kind::kForbiddenRegion)
+       << ", pin-closure " << count(Violation::Kind::kPinClosure) << ")";
+  }
+  os << "\n";
+  for (const Violation& v : violations) {
+    os << "  [" << kind_name(v.kind) << "] tid " << v.tid << ": " << v.detail
+       << "\n";
+  }
+}
+
+}  // namespace rvk::analysis

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/hooks.hpp"
 #include "heap/heap.hpp"
 #include "jmm/trace.hpp"
 
@@ -38,9 +39,18 @@ Engine::Engine(rt::Scheduler& sched, EngineConfig cfg)
       heap::set_volatile_write_hook(&Engine::volatile_write_trampoline);
     }
   }
+
+  // Revocation-safety analyzer: per-config or process-wide via RVK_ANALYZE.
+  // The engine owns the install/uninstall pairing, mirroring its other
+  // process-global hooks.
+  if (cfg_.analyze || analysis::env_enabled()) {
+    analysis::Analyzer::install();
+    analyzing_ = true;
+  }
 }
 
 Engine::~Engine() {
+  if (analyzing_) analysis::Analyzer::uninstall();
   heap::set_alloc_hook(nullptr);
   heap::set_tracked_read_hook(nullptr);
   heap::set_volatile_write_hook(nullptr);
@@ -99,12 +109,21 @@ std::uint64_t Engine::enter_frame(RevocableMonitor& m, rt::VThread* t,
   t->current_frame_id = f.id;
   ++stats_.sections_entered;
   if (cfg_.trace) jmm::Trace::record_acquire(&m);
+  analysis::frame_event(
+      {analysis::FrameEvent::Kind::kEnter, t, f.id, &m, &ts.frames});
   return f.id;
 }
 
 void Engine::commit_frame(rt::VThread* t) {
+  // Commit is undo-discard + release with no yield point in between (the
+  // atomicity §3.1.2 relies on); the guard makes the analyzer's switch
+  // probe prove it.  No-op unless the analyzer enabled region marking.
+  rt::ForbiddenRegionGuard region(t);
   ThreadSync& ts = sync_of(t);
   RVK_CHECK_MSG(!ts.frames.empty(), "commit with no active frame");
+  analysis::frame_event({analysis::FrameEvent::Kind::kCommit, t,
+                         ts.frames.back().id, ts.frames.back().monitor,
+                         &ts.frames});
   Frame f = std::move(ts.frames.back());
   ts.frames.pop_back();
 
@@ -143,8 +162,14 @@ void Engine::commit_frame(rt::VThread* t) {
 }
 
 void Engine::abort_frame(rt::VThread* t, std::uint64_t expected_frame) {
+  // Same atomicity contract as commit_frame: reverse replay and the
+  // reserving release must complete without a switch point (§3.1.2).
+  rt::ForbiddenRegionGuard region(t);
   ThreadSync& ts = sync_of(t);
   RVK_CHECK_MSG(!ts.frames.empty(), "abort with no active frame");
+  analysis::frame_event({analysis::FrameEvent::Kind::kAbort, t,
+                         ts.frames.back().id, ts.frames.back().monitor,
+                         &ts.frames});
   Frame f = std::move(ts.frames.back());
   RVK_CHECK_MSG(f.id == expected_frame, "frame stack out of sync with unwind");
   ts.frames.pop_back();
@@ -268,6 +293,10 @@ void Engine::deliver(rt::VThread* t) {
     return;
   }
   t->in_rollback = true;
+  // The analyzer audits the delivery: the unwind aborts every frame with
+  // id >= target, none of which may be pinned (upward closure, §2.2).
+  analysis::frame_event(
+      {analysis::FrameEvent::Kind::kDeliver, t, target, nullptr, &ts.frames});
   throw RollbackException(target, deadlock);
 }
 
@@ -298,8 +327,19 @@ bool Engine::request_revocation(rt::VThread* owner, RevocableMonitor& m,
     return false;
   }
   if (f->revocations >= cfg_.revocation_budget) {
-    f->nonrevocable = true;
-    f->pin_reason = PinReason::kBudget;
+    // Livelock guard: refuse further revocations of this section instance.
+    // The pin keeps §2.2's upward closure — pinning a frame pins its
+    // enclosing frames — so when `f` is a nested entry the pinned frames
+    // stay a prefix of the stack (which the analyzer audits).
+    for (Frame& g : ts.frames) {
+      if (g.id > f->id) break;  // entered after f: not enclosing
+      if (!g.nonrevocable) {
+        g.nonrevocable = true;
+        g.pin_reason = PinReason::kBudget;
+      }
+    }
+    analysis::frame_event(
+        {analysis::FrameEvent::Kind::kPin, owner, f->id, nullptr, &ts.frames});
     ++stats_.revocations_denied_budget;
     return false;
   }
@@ -360,13 +400,19 @@ void Engine::on_wait_pin(rt::VThread* t) {
   // notification.  Pin every active frame (§2.2; see DESIGN.md for the
   // nested/non-nested discussion).
   ThreadSync& ts = sync_of(t);
+  bool pinned = false;
   for (Frame& f : ts.frames) {
     if (!f.nonrevocable) {
       f.nonrevocable = true;
       f.pin_reason = PinReason::kWait;
       ++stats_.frames_pinned;
+      pinned = true;
       if (cfg_.trace) jmm::Trace::record_pin(f.id);
     }
+  }
+  if (pinned) {
+    analysis::frame_event({analysis::FrameEvent::Kind::kPin, t,
+                           t->current_frame_id, nullptr, &ts.frames});
   }
 }
 
@@ -374,13 +420,19 @@ void Engine::pin_current_frames(PinReason reason) {
   rt::VThread* t = sched_.current_thread();
   if (t == nullptr) return;
   ThreadSync& ts = sync_of(t);
+  bool pinned = false;
   for (Frame& f : ts.frames) {
     if (!f.nonrevocable) {
       f.nonrevocable = true;
       f.pin_reason = reason;
       ++stats_.frames_pinned;
+      pinned = true;
       if (cfg_.trace) jmm::Trace::record_pin(f.id);
     }
+  }
+  if (pinned) {
+    analysis::frame_event({analysis::FrameEvent::Kind::kPin, t,
+                           t->current_frame_id, nullptr, &ts.frames});
   }
 }
 
@@ -488,7 +540,10 @@ void Engine::pin_frames_up_to(rt::VThread* writer, std::uint64_t frame_id,
       if (cfg_.trace) jmm::Trace::record_pin(f.id);
     }
   }
-  (void)pinned;
+  if (pinned) {
+    analysis::frame_event({analysis::FrameEvent::Kind::kPin, writer, frame_id,
+                           nullptr, &ts.frames});
+  }
 }
 
 void Engine::on_tracked_read(heap::ObjectMeta& meta) {

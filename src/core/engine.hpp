@@ -120,6 +120,12 @@ struct EngineConfig {
 
   // Record a jmm::Trace-compatible event stream (tests only).
   bool trace = false;
+
+  // Install the revocation-safety analyzer (analysis/) for this engine's
+  // lifetime: lockset race detection, barrier-bypass and forbidden-region
+  // lints, pin-closure audits.  ORed with the RVK_ANALYZE environment
+  // variable, so any binary can be analyzed without a rebuild.
+  bool analyze = false;
 };
 
 struct EngineStats {
@@ -323,6 +329,7 @@ class Engine {
   std::vector<RevocableMonitor*> monitors_;       // registered, for sweeps
   std::vector<std::unique_ptr<RevocableMonitor>> owned_monitors_;
   std::uint64_t next_frame_id_ = 1;
+  bool analyzing_ = false;  // this engine installed the analyzer
 
   friend class RevocableMonitor;
 };

@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <ostream>
 
+#include "analysis/hooks.hpp"
+
 namespace rvk::core {
 
 void print_engine_report(Engine& engine, std::ostream& os) {
@@ -28,6 +30,10 @@ void print_engine_report(Engine& engine, std::ostream& os) {
      << st.words_undone << " words undone by rollbacks\n";
   os << "allocations: " << st.spec_allocs_reclaimed
      << " speculative objects reclaimed by rollbacks\n";
+  if (const analysis::Analyzer* a = analysis::Analyzer::active()) {
+    os << "analyzer:    " << a->report().violations.size()
+       << " violations (RVK_ANALYZE; see analysis report)\n";
+  }
 }
 
 void print_monitor_report(const Engine& engine, std::ostream& os) {
@@ -49,6 +55,15 @@ void print_monitor_report(const Engine& engine, std::ostream& os) {
       os << "  -";
     }
     os << "\n";
+  }
+}
+
+void print_analysis_report(std::ostream& os) {
+  if (const analysis::Analyzer* a = analysis::Analyzer::active()) {
+    a->print(os);
+  } else {
+    os << "=== revocation-safety analyzer ===\n"
+          "inactive (enable with RVK_ANALYZE=1 or EngineConfig::analyze)\n";
   }
 }
 

@@ -32,6 +32,9 @@ void RevocableMonitor::acquire() {
       // unwinding or the monitor would stay reserved for a thread that will
       // not come back for it.  Pass the reservation on to the next waiter.
       if (reserved_ == t) {
+        // Surrendering the reservation is a release-path step: it must
+        // reach check_revocation() without an intervening switch point.
+        rt::ForbiddenRegionGuard region(t);
         reserved_ = nullptr;
         handoff(/*reserve=*/true);
       }

@@ -18,10 +18,15 @@ bool g_dedup_logging = false;
 void (*g_tracked_read_hook)(ObjectMeta&, const void*) = nullptr;
 void (*g_volatile_write_hook)(const void*) = nullptr;
 void (*g_trace_access)(const TraceAccess&) = nullptr;
+void (*g_analysis_access)(const TraceAccess&) = nullptr;
 }  // namespace detail
 
 void set_trace_hook(void (*hook)(const TraceAccess&)) {
   detail::g_trace_access = hook;
+}
+
+void set_analysis_hook(void (*hook)(const TraceAccess&)) {
+  detail::g_analysis_access = hook;
 }
 
 void set_dependency_tracking(bool on) { detail::g_track_dependencies = on; }

@@ -43,10 +43,27 @@ struct ObjectMeta {
   }
 };
 
-// Access descriptor passed to the (test-only) trace hook; jmm/'s execution
-// recorder uses it to validate JMM consistency of whole runs.
+// Access descriptor passed to the barrier trace dispatch.  Two consumers
+// subscribe independently: jmm/'s execution recorder (tests) and the
+// revocation-safety analyzer (analysis/, RVK_ANALYZE=1).  The dispatch is
+// always compiled; with no consumer installed it costs one predicted
+// pointer-null test per access.
+//
+// (base, offset) is the location's identity and MUST match the identity the
+// undo log records for the same slot — jmm/ correlates undo events with
+// write events by it, and analysis/ checks barrier coverage with it.
 struct TraceAccess {
-  enum class Kind : std::uint8_t { kRead, kWrite, kVolatileRead, kVolatileWrite };
+  enum class Kind : std::uint8_t {
+    kRead,
+    kWrite,
+    kVolatileRead,
+    kVolatileWrite,
+    // A store through a *_unlogged accessor: the barrier the compiler would
+    // have elided (§1.1).  Never recorded by jmm/ (it models a store proven
+    // thread-local); the analyzer flags it when it happens inside a
+    // synchronized section, where eliding the barrier breaks rollback.
+    kUnloggedWrite,
+  };
   Kind kind;
   const void* base;
   std::uint32_t offset;
@@ -67,15 +84,23 @@ extern void (*g_tracked_read_hook)(ObjectMeta& meta, const void* base);
 extern void (*g_volatile_write_hook)(const void* var);
 // Execution-trace hook (jmm/ recorder); nullptr outside tests.
 extern void (*g_trace_access)(const TraceAccess&);
+// Revocation-safety analyzer hook (analysis/); nullptr unless RVK_ANALYZE.
+extern void (*g_analysis_access)(const TraceAccess&);
 }  // namespace detail
 
 // Installs the execution-trace hook (nullptr to uninstall).
 void set_trace_hook(void (*hook)(const TraceAccess&));
 
+// Installs the analyzer's access hook (nullptr to uninstall).
+void set_analysis_hook(void (*hook)(const TraceAccess&));
+
 inline void trace_access(TraceAccess::Kind kind, const void* base,
                          std::uint32_t offset, Word value, Word old_value) {
   if (detail::g_trace_access != nullptr) [[unlikely]] {
     detail::g_trace_access(TraceAccess{kind, base, offset, value, old_value});
+  }
+  if (detail::g_analysis_access != nullptr) [[unlikely]] {
+    detail::g_analysis_access(TraceAccess{kind, base, offset, value, old_value});
   }
 }
 

@@ -84,6 +84,8 @@ class HeapObject {
   // elides.
   void set_word_unlogged(std::size_t slot, Word value) {
     RVK_DCHECK(slot < slots_.size());
+    trace_access(TraceAccess::Kind::kUnloggedWrite, this,
+                 static_cast<std::uint32_t>(slot), value, slots_[slot]);
     slots_[slot] = value;
   }
 
@@ -145,7 +147,10 @@ class HeapArray {
 
   void set_unlogged(std::size_t index, T value) {
     RVK_DCHECK(index < slots_.size());
-    slots_[index] = detail::to_word(value);
+    Word w = detail::to_word(value);
+    trace_access(TraceAccess::Kind::kUnloggedWrite, this,
+                 static_cast<std::uint32_t>(index), w, slots_[index]);
+    slots_[index] = w;
   }
 
   ObjectMeta& meta() { return meta_; }

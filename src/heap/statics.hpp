@@ -51,8 +51,12 @@ class StaticsTable {
   void set_word(std::uint32_t offset, Word value) {
     RVK_DCHECK(offset < slots_.size());
     Slot& s = *slots_[offset];
-    write_barrier(log::EntryKind::kStaticField, s.meta, &s.value, this,
-                  offset);
+    // The log and the trace dispatch must agree on the location's identity:
+    // jmm/ correlates a rollback's undo events (built from log entries) with
+    // the write events it traced here.  Both use (&slot, offset) — logging
+    // the table as the base would make every undone static store an
+    // orphaned location for the checker.
+    write_barrier(log::EntryKind::kStaticField, s.meta, &s.value, &s, offset);
     trace_access(TraceAccess::Kind::kWrite, &s, offset, value, s.value);
     s.value = value;
   }

@@ -40,6 +40,11 @@ void Trace::record_access(const heap::TraceAccess& a) {
   if (!g_enabled) return;
   Event e;
   switch (a.kind) {
+    // Unlogged stores model stores the compiler proved thread-local (§1.1);
+    // the recorder keeps its pre-promotion view and does not trace them (the
+    // analyzer, not the JMM checker, polices their misuse inside sections).
+    case heap::TraceAccess::Kind::kUnloggedWrite:
+      return;
     case heap::TraceAccess::Kind::kRead:
       e.kind = EventKind::kRead;
       break;

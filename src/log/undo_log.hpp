@@ -41,7 +41,7 @@ enum class EntryKind : std::uint8_t {
 struct Entry {
   Word* addr;
   Word old_value;
-  const void* base;   // object/array reference, or statics-table id
+  const void* base;   // object/array reference, or statics-table slot
   std::uint32_t offset;
   EntryKind kind;
 };

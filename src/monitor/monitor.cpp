@@ -45,6 +45,11 @@ void MonitorBase::do_release(bool reserve) {
   rt::VThread* t = rt::current_vthread();
   RVK_CHECK_MSG(owner_ == t, "release by non-owner");
   if (--recursion_ > 0) return;
+  // Clearing the owner, the subclass notification and the handoff must be
+  // one atomic step — a switch point in between would expose a monitor
+  // with no owner but a half-done wakeup.  The guard is free unless the
+  // revocation-safety analyzer enabled region marking.
+  rt::ForbiddenRegionGuard region(t);
   owner_ = nullptr;
   owner_priority_ = 0;
   on_released(t);

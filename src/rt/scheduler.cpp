@@ -24,7 +24,22 @@ namespace rvk::rt {
 
 namespace detail {
 thread_local Scheduler* g_current_scheduler = nullptr;
+bool g_region_marking = false;
+void (*g_switch_probe)(VThread*, const char*) = nullptr;
 }  // namespace detail
+
+void set_region_marking(bool on) { detail::g_region_marking = on; }
+bool region_marking() { return detail::g_region_marking; }
+
+void set_switch_probe(void (*probe)(VThread*, const char*)) {
+  detail::g_switch_probe = probe;
+}
+
+void Scheduler::forbidden_switch_point(VThread* t) {
+  if (detail::g_switch_probe != nullptr) {
+    detail::g_switch_probe(t, "yield point");
+  }
+}
 
 Scheduler* current_scheduler() { return detail::g_current_scheduler; }
 
@@ -239,6 +254,11 @@ void Scheduler::yield_now() {
 
 void Scheduler::sleep_for(std::uint64_t ticks) {
   VThread* t = current_;
+  if (t->forbidden_region_depth != 0) [[unlikely]] {
+    if (detail::g_switch_probe != nullptr) {
+      detail::g_switch_probe(t, "sleep_for");
+    }
+  }
   if (ticks == 0) {
     yield_now();
     return;
@@ -259,6 +279,11 @@ void Scheduler::join(VThread* target) {
 
 void Scheduler::block_current_on(WaitQueue& q) {
   VThread* t = current_;
+  if (t->forbidden_region_depth != 0) [[unlikely]] {
+    if (detail::g_switch_probe != nullptr) {
+      detail::g_switch_probe(t, "blocking call");
+    }
+  }
   t->interrupted = false;
   t->timed_out = false;
   t->state_ = ThreadState::kBlocked;

@@ -111,6 +111,7 @@ class Scheduler {
     VThread* t = current_;
     RVK_DCHECK(t != nullptr);
     ++t->stats_.yield_points;
+    if (t->forbidden_region_depth != 0) [[unlikely]] forbidden_switch_point(t);
     if (--t->quantum_left_ <= 0) switch_out(SwitchReason::kYield);
     if (current_->revoke_requested) [[unlikely]] deliver_revocation();
   }
@@ -199,6 +200,10 @@ class Scheduler {
  private:
   friend class VThread;
 
+  // Out-of-line slow path of the forbidden-region check: forwards to the
+  // analyzer's switch probe (no-op if none is installed).
+  static void forbidden_switch_point(VThread* t);
+
   VThread* pick_next();
   void dispatch(VThread* t);
   void switch_out(SwitchReason reason);
@@ -236,7 +241,42 @@ class Scheduler {
 // code, unit tests without a scheduler).
 namespace detail {
 extern thread_local Scheduler* g_current_scheduler;
+// Revocation-safety analyzer plumbing (analysis/).  When marking is off the
+// guards below do nothing and forbidden_region_depth stays zero, so the
+// yield-point check never takes its branch — the zero-overhead-when-off
+// contract of RVK_ANALYZE.
+extern bool g_region_marking;
+extern void (*g_switch_probe)(VThread* t, const char* where);
 }  // namespace detail
+
+// Enables/disables forbidden-region marking (analyzer install/uninstall).
+void set_region_marking(bool on);
+bool region_marking();
+
+// Installs the analyzer's switch probe: called when a yield point or a
+// blocking call is reached inside a forbidden region (nullptr to uninstall).
+// The probe must not block or yield.
+void set_switch_probe(void (*probe)(VThread*, const char*));
+
+// RAII marker for code that must not contain a yield point or blocking call:
+// the engine's commit/abort sequences and monitor release paths, whose
+// atomicity the rollback protocol relies on (§3.1.2; CLAUDE.md invariant).
+// Active only while the analyzer has region marking enabled.
+class ForbiddenRegionGuard {
+ public:
+  explicit ForbiddenRegionGuard(VThread* t)
+      : t_(detail::g_region_marking ? t : nullptr) {
+    if (t_ != nullptr) ++t_->forbidden_region_depth;
+  }
+  ~ForbiddenRegionGuard() {
+    if (t_ != nullptr) --t_->forbidden_region_depth;
+  }
+  ForbiddenRegionGuard(const ForbiddenRegionGuard&) = delete;
+  ForbiddenRegionGuard& operator=(const ForbiddenRegionGuard&) = delete;
+
+ private:
+  VThread* t_;
+};
 
 // Out-of-line on purpose: GCC may cache the computed TLS address across a
 // ucontext fiber switch when these are inlined into long-running frames,

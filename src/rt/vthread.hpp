@@ -120,6 +120,14 @@ class VThread {
   // Opaque pointer to the engine-side per-thread state (core::ThreadSync).
   void* engine_state = nullptr;
 
+  // Depth of nested forbidden regions (engine commit/abort and monitor
+  // release paths, which rely on green-thread atomicity — see CLAUDE.md).
+  // Maintained only while the revocation-safety analyzer marks regions
+  // (rt::set_region_marking); a yield point or blocking call executed while
+  // nonzero fires the analyzer's switch probe.  Always zero otherwise, so
+  // the yield-point fast path pays a single never-taken field test.
+  int forbidden_region_depth = 0;
+
   // Set when Scheduler::interrupt() yanked this thread out of a wait queue
   // or a sleep; the blocking primitive that parked it must re-check its
   // condition (and pending revocations) instead of assuming a real wakeup.
