@@ -81,6 +81,10 @@ ThreadSync& Engine::sync_of(rt::VThread* t) {
   if (inserted) {
     it->second = std::make_unique<ThreadSync>();
     threads_by_id_[t->id()] = t;
+    // Mirror the dedup toggle into the thread so the write barrier's
+    // in-section path tests per-thread state only (heap::dedup_logging()
+    // stays the process-wide source for the analyzer and ablations).
+    t->log_dedup = cfg_.dedup_logging;
   }
   return *it->second;
 }
@@ -178,11 +182,9 @@ void Engine::abort_frame(rt::VThread* t, std::uint64_t expected_frame) {
   // monitor — §3.1.2: "partial results … are reverted before any of the
   // locks are released".  Green threads make the sequence atomic.
   if (cfg_.trace) {
-    const log::UndoLog& ul = t->undo_log;
-    for (std::size_t i = ul.size(); i > f.log_mark; --i) {
-      const log::Entry& e = ul.entry(i - 1);
+    t->undo_log.for_each_above_reverse(f.log_mark, [](const log::Entry& e) {
       jmm::Trace::record_undo(jmm::Loc{e.base, e.offset}, e.old_value);
-    }
+    });
   }
   stats_.words_undone += t->undo_log.size() - f.log_mark;
   t->undo_log.rollback_to(f.log_mark);

@@ -118,14 +118,18 @@ void set_tracked_read_hook(void (*hook)(ObjectMeta&, const void*));
 void set_volatile_write_hook(void (*hook)(const void*));
 
 // The write barrier.  `addr` is the slot being stored to; `base`/`offset`
-// identify it in paper terms (reference + offset).  Returns the thread if
-// the slow path ran (useful to callers that need follow-up work).
+// identify it in paper terms (reference + offset).  The fast path is the
+// paper's single test (§1.1); the common in-section store is one predicted
+// branch plus the log's bump-pointer append — the dedup-enabled test reads
+// per-thread state (VThread::log_dedup, stamped by the engine) rather than a
+// process global, so no extra cache line is touched on the hot path.
 inline void write_barrier(log::EntryKind kind, ObjectMeta& meta, Word* addr,
                           const void* base, std::uint32_t offset) {
   rt::VThread* t = rt::current_vthread();
-  if (t == nullptr || t->sync_depth == 0) return;  // fast path: not in a section
-  if (!detail::g_dedup_logging ||
-      t->dedup.should_log(addr, t->current_frame_id)) {
+  if (t == nullptr || t->sync_depth == 0) [[likely]] {
+    return;  // fast path: not in a section
+  }
+  if (!t->log_dedup || t->dedup.should_log(addr, t->current_frame_id)) {
     t->undo_log.record(kind, addr, *addr, base, offset);
   }
   if (detail::g_track_dependencies) {

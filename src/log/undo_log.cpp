@@ -2,10 +2,67 @@
 
 namespace rvk::log {
 
+void UndoLog::next_chunk() {
+  note_high_water();
+  if (chunk_begin_ != nullptr) {
+    ++active_;  // first append into a fresh log keeps active_ == 0
+  }
+  if (active_ == chunks_.size()) {
+    chunks_.push_back(std::make_unique<Entry[]>(kChunkEntries));
+  }
+  chunk_begin_ = chunks_[active_].get();
+  chunk_end_ = chunk_begin_ + kChunkEntries;
+  cursor_ = chunk_begin_;
+}
+
+void UndoLog::set_position(std::size_t n) {
+  if (chunks_.empty()) {
+    RVK_DCHECK(n == 0);
+    return;
+  }
+  // A position at an exact chunk boundary parks the cursor at the *end* of
+  // the previous chunk (the full-chunk state record() grows out of), so the
+  // chunk holding entry n-1 is always materialized.
+  active_ = n == 0 ? 0 : (n - 1) >> kChunkShift;
+  chunk_begin_ = chunks_[active_].get();
+  chunk_end_ = chunk_begin_ + kChunkEntries;
+  cursor_ = chunk_begin_ + (n - (active_ << kChunkShift));
+}
+
+void UndoLog::rollback_to(std::size_t mark) {
+  const std::size_t n = size();
+  RVK_CHECK_MSG(mark <= n, "watermark beyond log end");
+  note_high_water();
+  stats_.words_undone += n - mark;
+  // Reverse replay, one segment at a time: within a chunk the walk is a
+  // tight descending loop over contiguous entries.
+  std::size_t i = n;
+  while (i > mark) {
+    const std::size_t chunk = (i - 1) >> kChunkShift;
+    const Entry* base = chunks_[chunk].get();
+    const std::size_t lo = mark > (chunk << kChunkShift)
+                               ? mark
+                               : (chunk << kChunkShift);
+    while (i > lo) {
+      const Entry& e = base[(--i) & kChunkMask];
+      *e.addr = e.old_value;
+    }
+  }
+  set_position(mark);
+  ++stats_.rollbacks;
+}
+
+void UndoLog::discard_all() {
+  note_high_water();
+  set_position(0);
+  ++stats_.commits;
+}
+
 std::size_t UndoLog::count_kind(EntryKind kind, std::size_t from) const {
   std::size_t n = 0;
-  for (std::size_t i = from; i < entries_.size(); ++i) {
-    if (entries_[i].kind == kind) ++n;
+  const std::size_t end = size();
+  for (std::size_t i = from; i < end; ++i) {
+    if (entry(i).kind == kind) ++n;
   }
   return n;
 }

@@ -14,10 +14,18 @@
 // original values", §3.1.2) and truncates it.  Committing a *nested* frame
 // leaves its entries in place: they remain speculative until the outermost
 // frame commits, at which point the whole log is discarded.
+//
+// Storage is a chunked-segment arena (DESIGN.md §8): fixed-size entry
+// chunks, allocated on demand and retained across commits.  Growth never
+// copies — an append into a full chunk just opens the next one — so entry
+// addresses are stable for the log's lifetime and the append fast path is a
+// single bump-pointer store.  Reverse replay walks the segments from the
+// cursor down to the watermark.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/check.hpp"
@@ -58,13 +66,20 @@ struct LogStats {
 
 class UndoLog {
  public:
-  // `initial_capacity` pre-sizes the sequential buffer; the log grows
-  // geometrically beyond it (an append must stay cheap: the paper charges
-  // barrier cost on every store inside a synchronized section).  The
-  // default comfortably covers a scaled benchmark section so steady-state
-  // appends never reallocate.
+  // Entries per chunk.  4096 × 40 B keeps a chunk comfortably inside the
+  // page allocator's cheap range while making the grow branch fire once per
+  // 4096 appends.
+  static constexpr std::size_t kChunkShift = 12;
+  static constexpr std::size_t kChunkEntries = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kChunkMask = kChunkEntries - 1;
+
+  // `initial_capacity` reserves *pointer* slots for ceil(cap/kChunkEntries)
+  // chunks; the chunks themselves are allocated on first use and then
+  // retained forever (memory is bounded by the high-water mark, and a
+  // steady-state section never allocates).  An idle thread's log therefore
+  // costs a few dozen bytes, not a pre-sized buffer.
   explicit UndoLog(std::size_t initial_capacity = 1 << 16) {
-    entries_.reserve(initial_capacity);
+    chunks_.reserve((initial_capacity + kChunkEntries - 1) >> kChunkShift);
   }
 
   UndoLog(const UndoLog&) = delete;
@@ -72,61 +87,88 @@ class UndoLog {
 
   // Appends one store record.  Called from the write-barrier slow path —
   // this is the per-store cost the paper's modified VM charges to every
-  // thread, so it stays minimal (one append + one counter; the high-water
-  // statistic is refreshed on the cold paths instead).
+  // thread, so it stays minimal: one predicted-not-taken chunk-full test,
+  // one bump-pointer store, one counter.  Growth never moves existing
+  // entries.
   void record(EntryKind kind, Word* addr, Word old_value, const void* base,
               std::uint32_t offset) {
-    entries_.push_back(Entry{addr, old_value, base, offset, kind});
+    if (cursor_ == chunk_end_) [[unlikely]] next_chunk();
+    *cursor_++ = Entry{addr, old_value, base, offset, kind};
     ++stats_.appends;
   }
 
   // Current size; monitor frames capture this as their watermark.
-  std::size_t watermark() const { return entries_.size(); }
+  std::size_t watermark() const { return size(); }
+
+  std::size_t size() const {
+    if (chunk_begin_ == nullptr) return 0;
+    return (active_ << kChunkShift) +
+           static_cast<std::size_t>(cursor_ - chunk_begin_);
+  }
+  bool empty() const { return size() == 0; }
 
   // Replays entries above `mark` in reverse order, restoring each location
   // to its logged old value, then truncates the log to `mark`.
   //
   // Nested writes to the same location are handled naturally by reverse
   // replay: the oldest entry is replayed last and wins.
-  void rollback_to(std::size_t mark) {
-    RVK_CHECK_MSG(mark <= entries_.size(), "watermark beyond log end");
-    refresh_high_water();
-    stats_.words_undone += entries_.size() - mark;
-    for (std::size_t i = entries_.size(); i > mark; --i) {
-      const Entry& e = entries_[i - 1];
-      *e.addr = e.old_value;
-    }
-    entries_.resize(mark);
-    ++stats_.rollbacks;
-  }
+  void rollback_to(std::size_t mark);
 
   // Discards every entry: the outermost frame committed, so all speculative
-  // stores are now permanent.
-  void discard_all() {
-    refresh_high_water();
-    entries_.clear();
-    ++stats_.commits;
+  // stores are now permanent.  O(1) — chunks are kept for reuse.
+  void discard_all();
+
+  // Entry addresses are stable across growth (chunks never move), so the
+  // returned reference stays valid until the entry is truncated away.
+  const Entry& entry(std::size_t i) const {
+    RVK_DCHECK(i < size());
+    return chunks_[i >> kChunkShift][i & kChunkMask];
   }
 
-  bool empty() const { return entries_.empty(); }
-  std::size_t size() const { return entries_.size(); }
-  const Entry& entry(std::size_t i) const { return entries_[i]; }
-  const LogStats& stats() {
-    refresh_high_water();
-    return stats_;
+  // Visits entries (mark, size()] newest-first — the replay order a rollback
+  // of a frame with watermark `mark` would use.  Consumers (engine trace,
+  // diagnostics) iterate segments without copying.
+  template <typename F>
+  void for_each_above_reverse(std::size_t mark, F&& f) const {
+    for (std::size_t i = size(); i > mark; --i) f(entry(i - 1));
+  }
+
+  // Snapshot of the traffic counters.  The high-water mark is folded in
+  // here and maintained on the cold paths (chunk growth, rollback, commit),
+  // keeping the append fast path free of it and the accessor const.
+  LogStats stats() const {
+    LogStats s = stats_;
+    const std::uint64_t n = size();
+    if (n > s.high_water) s.high_water = n;
+    return s;
   }
   void reset_stats() { stats_ = LogStats{}; }
+
+  // Allocated entry slots across all chunks (diagnostics).
+  std::size_t capacity() const { return chunks_.size() << kChunkShift; }
 
   // Counts entries of `kind` in [from, end) — used by tests asserting which
   // store kinds a workload logged.
   std::size_t count_kind(EntryKind kind, std::size_t from = 0) const;
 
  private:
-  void refresh_high_water() {
-    if (entries_.size() > stats_.high_water) stats_.high_water = entries_.size();
+  // Cold path of record(): opens the next chunk (allocating it on first
+  // use) and refreshes the high-water statistic.
+  void next_chunk();
+
+  // Repositions the cursor at logical index `n` (≤ current size).
+  void set_position(std::size_t n);
+
+  void note_high_water() {
+    const std::uint64_t n = size();
+    if (n > stats_.high_water) stats_.high_water = n;
   }
 
-  std::vector<Entry> entries_;
+  std::vector<std::unique_ptr<Entry[]>> chunks_;
+  Entry* cursor_ = nullptr;       // next append slot within the active chunk
+  Entry* chunk_begin_ = nullptr;  // active chunk bounds (nullptr: no chunk)
+  Entry* chunk_end_ = nullptr;
+  std::size_t active_ = 0;        // index of the active chunk
   LogStats stats_;
 };
 

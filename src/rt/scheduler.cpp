@@ -89,59 +89,12 @@ void thread_trampoline(unsigned int hi, unsigned int lo) {
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// WaitQueue
-
-void WaitQueue::push(VThread* t) {
-  items_.push_back(Item{t, next_seq_++});
-}
-
-std::size_t WaitQueue::best_index() const {
-  std::size_t best = items_.size();
-  for (std::size_t i = 0; i < items_.size(); ++i) {
-    if (best == items_.size() ||
-        items_[i].thread->priority() > items_[best].thread->priority() ||
-        (items_[i].thread->priority() == items_[best].thread->priority() &&
-         items_[i].seq < items_[best].seq)) {
-      best = i;
-    }
-  }
-  return best;
-}
-
-VThread* WaitQueue::pop_best() {
-  if (items_.empty()) return nullptr;
-  std::size_t i = best_index();
-  VThread* t = items_[i].thread;
-  items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(i));
-  return t;
-}
-
-VThread* WaitQueue::peek_best() const {
-  if (items_.empty()) return nullptr;
-  return items_[best_index()].thread;
-}
-
-bool WaitQueue::remove(VThread* t) {
-  for (std::size_t i = 0; i < items_.size(); ++i) {
-    if (items_[i].thread == t) {
-      items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(i));
-      return true;
-    }
-  }
-  return false;
-}
-
-bool WaitQueue::has_waiter_above(int prio) const {
-  for (const Item& it : items_) {
-    if (it.thread->priority() > prio) return true;
-  }
-  return false;
-}
-
-// ---------------------------------------------------------------------------
 // Scheduler
 
-Scheduler::Scheduler(SchedulerConfig cfg) : cfg_(cfg) {
+Scheduler::Scheduler(SchedulerConfig cfg)
+    : cfg_(cfg),
+      ready_(cfg.strict_priority ? WaitQueue::Order::kPriority
+                                 : WaitQueue::Order::kFifo) {
   RVK_CHECK(cfg_.quantum > 0);
 }
 
@@ -165,7 +118,7 @@ VThread* Scheduler::spawn(std::string name, int priority,
               static_cast<unsigned int>(ptr & 0xFFFFFFFFu));
   t->state_ = ThreadState::kRunnable;
   threads_.push_back(std::move(thread));
-  ready_.push_back(t);
+  ready_.push(t);
   ++live_count_;
   return t;
 }
@@ -173,20 +126,10 @@ VThread* Scheduler::spawn(std::string name, int priority,
 Scheduler* Scheduler::current() { return detail::g_current_scheduler; }
 
 VThread* Scheduler::pick_next() {
-  if (ready_.empty()) return nullptr;
-  if (!cfg_.strict_priority) {
-    VThread* t = ready_.front();
-    ready_.pop_front();
-    return t;
-  }
-  // Strict priority: first (oldest) entry among the highest-priority ones.
-  auto best = ready_.begin();
-  for (auto it = ready_.begin(); it != ready_.end(); ++it) {
-    if ((*it)->priority() > (*best)->priority()) best = it;
-  }
-  VThread* t = *best;
-  ready_.erase(best);
-  return t;
+  // O(1) both ways: round-robin pops the single FIFO bucket; strict priority
+  // is one find-first-set over the occupancy bitmap plus a list pop, FIFO
+  // within the best level (first-arrived among the highest-priority ones).
+  return ready_.pop_best();
 }
 
 void Scheduler::dispatch(VThread* t) {
@@ -210,7 +153,7 @@ void Scheduler::dispatch(VThread* t) {
   switch (last_reason_) {
     case SwitchReason::kYield:
       t->state_ = ThreadState::kRunnable;
-      ready_.push_back(t);
+      ready_.push(t);
       break;
     case SwitchReason::kBlock:
     case SwitchReason::kSleep:
@@ -265,7 +208,7 @@ void Scheduler::sleep_for(std::uint64_t ticks) {
   }
   t->sleep_deadline_ = ticks_ + ticks;
   t->state_ = ThreadState::kSleeping;
-  sleeping_.push_back(t);
+  arm_timer(t, t->sleep_deadline_, /*timed_block=*/false);
   switch_out(SwitchReason::kSleep);
   check_revocation();
 }
@@ -298,18 +241,18 @@ void Scheduler::block_current_on(WaitQueue& q) {
 bool Scheduler::block_current_on_for(WaitQueue& q, std::uint64_t ticks) {
   VThread* t = current_;
   t->sleep_deadline_ = ticks_ + ticks;
-  timed_blocked_.push_back(t);
+  arm_timer(t, t->sleep_deadline_, /*timed_block=*/true);
   block_current_on(q);
-  // Clean up the deadline registration if a real wakeup beat the timer.
-  auto it = std::find(timed_blocked_.begin(), timed_blocked_.end(), t);
-  if (it != timed_blocked_.end()) timed_blocked_.erase(it);
+  // A real wakeup (or interrupt) already disarmed the timer: make_runnable
+  // bumped timer_gen_, so the heap entry is stale and gets dropped lazily.
   return !t->timed_out;
 }
 
 void Scheduler::make_runnable(VThread* t) {
   t->blocked_on_ = nullptr;
+  ++t->timer_gen_;  // disarm any pending sleep/timeout deadline
   t->state_ = ThreadState::kRunnable;
-  ready_.push_back(t);
+  ready_.push(t);
 }
 
 VThread* Scheduler::wake_best(WaitQueue& q) {
@@ -339,12 +282,8 @@ void Scheduler::interrupt(VThread* t) {
       break;
     }
     case ThreadState::kSleeping: {
-      auto it = std::find(sleeping_.begin(), sleeping_.end(), t);
-      RVK_CHECK_MSG(it != sleeping_.end(),
-                    "sleeping thread missing from sleep set");
-      sleeping_.erase(it);
       t->interrupted = true;
-      make_runnable(t);
+      make_runnable(t);  // bumps timer_gen_, disarming the sleep deadline
       break;
     }
     default:
@@ -366,44 +305,47 @@ void Scheduler::deliver_revocation() {
                 "deliverer returned with the request still pending");
 }
 
-void Scheduler::wake_due_sleepers() {
-  for (std::size_t i = 0; i < sleeping_.size();) {
-    VThread* t = sleeping_[i];
-    if (t->sleep_deadline_ <= ticks_) {
-      sleeping_.erase(sleeping_.begin() + static_cast<std::ptrdiff_t>(i));
-      t->state_ = ThreadState::kRunnable;
-      ready_.push_back(t);
-    } else {
-      ++i;
-    }
-  }
-  // Expire timed blocks: pull the thread out of its wait queue with
-  // timed_out set; block_current_on_for translates that into `false`.
-  for (std::size_t i = 0; i < timed_blocked_.size();) {
-    VThread* t = timed_blocked_[i];
-    if (t->state_ == ThreadState::kBlocked && t->sleep_deadline_ <= ticks_) {
-      timed_blocked_.erase(timed_blocked_.begin() +
-                           static_cast<std::ptrdiff_t>(i));
+void Scheduler::arm_timer(VThread* t, std::uint64_t deadline,
+                          bool timed_block) {
+  timers_.push_back(
+      Timer{deadline, timer_seq_++, ++t->timer_gen_, t, timed_block});
+  std::push_heap(timers_.begin(), timers_.end(), TimerAfter{});
+}
+
+void Scheduler::fire_due_timers() {
+  while (!timers_.empty() && timers_.front().deadline <= ticks_) {
+    const Timer tm = timers_.front();
+    std::pop_heap(timers_.begin(), timers_.end(), TimerAfter{});
+    timers_.pop_back();
+    VThread* t = tm.thread;
+    if (tm.gen != t->timer_gen_) continue;  // disarmed by an earlier wakeup
+    if (tm.timed_block) {
+      // Expire a timed block: pull the thread out of its wait queue with
+      // timed_out set; block_current_on_for translates that into `false`.
+      // A live generation implies the thread is still parked (every wakeup
+      // path goes through make_runnable, which bumps the generation).
+      RVK_DCHECK(t->state_ == ThreadState::kBlocked);
       RVK_CHECK(t->blocked_on_ != nullptr);
       bool removed = t->blocked_on_->remove(t);
       RVK_CHECK_MSG(removed, "timed-blocked thread missing from its queue");
       t->timed_out = true;
-      make_runnable(t);
     } else {
-      ++i;
+      RVK_DCHECK(t->state_ == ThreadState::kSleeping);
     }
+    make_runnable(t);
   }
 }
 
-std::uint64_t Scheduler::earliest_sleep_deadline() const {
-  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
-  for (VThread* t : sleeping_) best = std::min(best, t->sleep_deadline_);
-  for (VThread* t : timed_blocked_) {
-    if (t->state_ == ThreadState::kBlocked) {
-      best = std::min(best, t->sleep_deadline_);
-    }
+std::uint64_t Scheduler::next_timer_deadline() {
+  // Discard stale (disarmed) entries on the way to the live minimum; each
+  // registration is popped at most once, so this stays amortized O(log n).
+  while (!timers_.empty() &&
+         timers_.front().gen != timers_.front().thread->timer_gen_) {
+    std::pop_heap(timers_.begin(), timers_.end(), TimerAfter{});
+    timers_.pop_back();
   }
-  return best;
+  return timers_.empty() ? std::numeric_limits<std::uint64_t>::max()
+                         : timers_.front().deadline;
 }
 
 void Scheduler::run() {
@@ -414,10 +356,10 @@ void Scheduler::run() {
   stalled_ = false;
 
   while (live_count_ > 0) {
-    wake_due_sleepers();
+    fire_due_timers();
     VThread* next = pick_next();
     if (next == nullptr) {
-      const std::uint64_t deadline = earliest_sleep_deadline();
+      const std::uint64_t deadline = next_timer_deadline();
       if (deadline != std::numeric_limits<std::uint64_t>::max()) {
         // Idle: fast-forward the virtual clock to the next wakeup (a sleep
         // or a timed block expiring).

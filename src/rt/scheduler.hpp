@@ -27,7 +27,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -208,15 +207,37 @@ class Scheduler {
   void dispatch(VThread* t);
   void switch_out(SwitchReason reason);
   [[noreturn]] void finish_current();
-  void wake_due_sleepers();
-  std::uint64_t earliest_sleep_deadline() const;
+  void arm_timer(VThread* t, std::uint64_t deadline, bool timed_block);
+  void fire_due_timers();
+  std::uint64_t next_timer_deadline();
   void deliver_revocation();
+
+  // Deadline min-heap entry: a sleeping thread's wakeup or a timed block's
+  // timeout.  Entries are validated lazily against the thread's timer_gen_
+  // (any wakeup bumps it), so cancellation is O(1) and the virtual-clock
+  // tick pays O(log timers) only when a deadline actually fires — never the
+  // old O(threads) sweep.
+  struct Timer {
+    std::uint64_t deadline;
+    std::uint64_t seq;  // registration order: FIFO among equal deadlines
+    std::uint64_t gen;  // matches thread->timer_gen_ while still armed
+    VThread* thread;
+    bool timed_block;  // true: timeout of a block_current_on_for park
+  };
+  struct TimerAfter {
+    bool operator()(const Timer& a, const Timer& b) const {
+      return a.deadline != b.deadline ? a.deadline > b.deadline
+                                      : a.seq > b.seq;
+    }
+  };
 
   SchedulerConfig cfg_;
   std::vector<std::unique_ptr<VThread>> threads_;
-  std::deque<VThread*> ready_;
-  std::vector<VThread*> sleeping_;
-  std::vector<VThread*> timed_blocked_;  // blocked with a wake deadline
+  // Ready queue: priority-bucketed in strict mode, single FIFO bucket in the
+  // paper-faithful round-robin mode; O(1) either way.
+  WaitQueue ready_;
+  std::vector<Timer> timers_;  // min-heap ordered by TimerAfter
+  std::uint64_t timer_seq_ = 0;
   VThread* current_ = nullptr;
   ucontext_t sched_context_{};
   SwitchReason last_reason_ = SwitchReason::kYield;

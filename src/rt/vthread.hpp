@@ -35,10 +35,9 @@ class Scheduler;
 
 using ThreadId = std::uint32_t;
 
-// Java priority range; only the relative order matters to the runtime.
-inline constexpr int kMinPriority = 1;
-inline constexpr int kNormPriority = 5;
-inline constexpr int kMaxPriority = 10;
+// The Java priority range constants (kMinPriority/kNormPriority/
+// kMaxPriority) live in rt/wait_queue.hpp, next to the priority-bucketed
+// queue structure they size.
 
 enum class ThreadState : std::uint8_t {
   kNew,       // spawned, not yet dispatched
@@ -74,7 +73,16 @@ class VThread {
   ThreadId id() const { return id_; }
   const std::string& name() const { return name_; }
   int priority() const { return priority_; }
-  void set_priority(int p) { priority_ = p; }
+
+  // Changing priority while the thread sits in a priority-ordered queue
+  // (priority inheritance boosting a holder that is itself blocked, or the
+  // engine boosting a runnable revocation victim) re-buckets it in place so
+  // the queue's O(1) pop still honours the new priority.
+  void set_priority(int p) {
+    if (p == priority_) return;
+    priority_ = p;
+    if (queue_node_.queue != nullptr) queue_node_.queue->reposition(this);
+  }
   ThreadState state() const { return state_; }
   bool finished() const { return state_ == ThreadState::kFinished; }
   Scheduler* scheduler() const { return sched_; }
@@ -92,6 +100,13 @@ class VThread {
   // Redundant-logging filter (extension; used only when the engine enables
   // dedup_logging — see log/dedup.hpp).
   log::DedupTable dedup;
+
+  // Per-thread mirror of EngineConfig::dedup_logging, stamped when the
+  // engine registers the thread.  The write barrier tests this instead of a
+  // process global so its in-section slow path stays one predicted branch +
+  // one bump-pointer append (the global remains the configuration source —
+  // heap::dedup_logging() — for the analyzer and ablations).
+  bool log_dedup = false;
 
   // Revocation request posted by another thread; examined at every yield
   // point and on every wakeup from blocking.  `revoke_target_frame` names the
@@ -142,6 +157,7 @@ class VThread {
 
  private:
   friend class Scheduler;
+  friend class WaitQueue;
 
   Scheduler* sched_;
   ThreadId id_;
@@ -155,6 +171,11 @@ class VThread {
 
   int quantum_left_ = 0;
   std::uint64_t sleep_deadline_ = 0;
+  // Invalidation stamp for the scheduler's deadline heap: any wakeup bumps
+  // it, turning the thread's pending timer entry (sleep deadline or timed-
+  // block timeout) into a stale record the heap discards lazily.
+  std::uint64_t timer_gen_ = 0;
+  QueueNode queue_node_;             // intrusive linkage (ready/wait queues)
   void* asan_fake_stack_ = nullptr;  // ASan fiber bookkeeping (see scheduler.cpp)
   WaitQueue* blocked_on_ = nullptr;  // queue currently parked in, if any
   WaitQueue joiners_;                // threads join()ing on this one
@@ -162,5 +183,20 @@ class VThread {
 
   ThreadStats stats_;
 };
+
+// Defined here (not in wait_queue.hpp) because it walks the intrusive links
+// embedded in VThread.  Visits levels best-first via the occupancy bitmap,
+// FIFO within each level.
+template <typename F>
+void WaitQueue::for_each(F&& f) const {
+  std::uint64_t bits = occupied_;
+  while (bits != 0) {
+    const int b = std::bit_width(bits) - 1;
+    bits &= ~(std::uint64_t{1} << b);
+    for (VThread* t = lists_[b].head; t != nullptr; t = t->queue_node_.next) {
+      f(t);
+    }
+  }
+}
 
 }  // namespace rvk::rt

@@ -1,0 +1,107 @@
+#include "rt/wait_queue.hpp"
+
+#include "rt/vthread.hpp"
+
+namespace rvk::rt {
+
+int WaitQueue::bucket_of(const VThread* t) const {
+  if (order_ == Order::kFifo) return 0;
+  const int prio = t->priority();
+  RVK_DCHECK(prio >= kMinPriority && prio <= kMaxPriority);
+  return prio;
+}
+
+void WaitQueue::push(VThread* t) {
+  QueueNode& n = t->queue_node_;
+  RVK_DCHECK(n.queue == nullptr);
+  const int b = bucket_of(t);
+  List& l = lists_[b];
+  n.queue = this;
+  n.bucket = static_cast<std::uint8_t>(b);
+  n.seq = next_seq_++;
+  n.next = nullptr;
+  n.prev = l.tail;
+  if (l.tail != nullptr) {
+    l.tail->queue_node_.next = t;
+  } else {
+    l.head = t;
+    occupied_ |= std::uint64_t{1} << b;
+  }
+  l.tail = t;
+  ++size_;
+}
+
+void WaitQueue::unlink(VThread* t) {
+  QueueNode& n = t->queue_node_;
+  List& l = lists_[n.bucket];
+  if (n.prev != nullptr) {
+    n.prev->queue_node_.next = n.next;
+  } else {
+    l.head = n.next;
+  }
+  if (n.next != nullptr) {
+    n.next->queue_node_.prev = n.prev;
+  } else {
+    l.tail = n.prev;
+  }
+  if (l.head == nullptr) occupied_ &= ~(std::uint64_t{1} << n.bucket);
+  n.next = nullptr;
+  n.prev = nullptr;
+  n.queue = nullptr;
+  --size_;
+}
+
+VThread* WaitQueue::pop_best() {
+  if (occupied_ == 0) return nullptr;
+  VThread* t = lists_[best_bucket()].head;
+  unlink(t);
+  return t;
+}
+
+VThread* WaitQueue::peek_best() const {
+  if (occupied_ == 0) return nullptr;
+  return lists_[best_bucket()].head;
+}
+
+bool WaitQueue::remove(VThread* t) {
+  if (t->queue_node_.queue != this) return false;
+  unlink(t);
+  return true;
+}
+
+void WaitQueue::reposition(VThread* t) {
+  RVK_DCHECK(t->queue_node_.queue == this);
+  if (order_ == Order::kFifo) return;  // dispatch order ignores priority
+  const int b = bucket_of(t);
+  if (b == t->queue_node_.bucket) return;
+  const std::uint64_t seq = t->queue_node_.seq;
+  unlink(t);
+  // Re-insert in arrival order within the new level.  Each bucket is sorted
+  // by `seq` (pushes stamp increasing values), so the walk stops at the
+  // first younger waiter; priority changes while queued are rare and the
+  // bucket holds only same-priority peers, so the walk is short.
+  List& l = lists_[b];
+  VThread* at = l.head;
+  while (at != nullptr && at->queue_node_.seq < seq) at = at->queue_node_.next;
+  QueueNode& n = t->queue_node_;
+  n.queue = this;
+  n.bucket = static_cast<std::uint8_t>(b);
+  n.seq = seq;
+  n.next = at;
+  if (at != nullptr) {
+    n.prev = at->queue_node_.prev;
+    at->queue_node_.prev = t;
+  } else {
+    n.prev = l.tail;
+    l.tail = t;
+  }
+  if (n.prev != nullptr) {
+    n.prev->queue_node_.next = t;
+  } else {
+    l.head = t;
+  }
+  occupied_ |= std::uint64_t{1} << b;
+  ++size_;
+}
+
+}  // namespace rvk::rt

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdint>
+#include <vector>
 
 #include "log/undo_log.hpp"
 
@@ -138,6 +140,111 @@ TEST(UndoLogTest, GrowsBeyondInitialCapacity) {
   EXPECT_EQ(log.size(), 1000u);
   log.rollback_to(0);
   for (std::size_t i = 0; i < slots.size(); ++i) EXPECT_EQ(slots[i], i);
+}
+
+// ---- Chunked-arena behaviour (DESIGN.md §8) ----
+
+TEST(UndoLogTest, EntryAddressesStableAcrossGrowth) {
+  // The arena contract heap/ and core/ rely on: a reference taken from
+  // entry() must survive arbitrary later appends (growth opens new chunks,
+  // never copies old ones).
+  UndoLog log(4);  // reserve almost nothing up front
+  Word s = 0;
+  log.record(EntryKind::kObjectField, &s, 42, nullptr, 7);
+  const Entry* first = &log.entry(0);
+  for (std::size_t i = 0; i < 3 * UndoLog::kChunkEntries; ++i) {
+    log.record(EntryKind::kArrayElement, &s, i, nullptr, 0);
+  }
+  EXPECT_EQ(first, &log.entry(0));
+  EXPECT_EQ(first->old_value, 42u);
+  EXPECT_EQ(first->offset, 7u);
+}
+
+TEST(UndoLogTest, RollbackAcrossChunkBoundary) {
+  UndoLog log;
+  const std::size_t n = UndoLog::kChunkEntries + 100;
+  std::vector<Word> slots(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    slots[i] = i;
+    log.record(EntryKind::kArrayElement, &slots[i], slots[i], nullptr,
+               static_cast<std::uint32_t>(i));
+    slots[i] = 0;
+  }
+  EXPECT_EQ(log.size(), n);
+  log.rollback_to(0);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(slots[i], i);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(UndoLogTest, WatermarkAtExactChunkBoundary) {
+  // A frame whose watermark lands exactly on a chunk edge: the partial
+  // rollback must stop on the edge, and appends must resume growing from it.
+  UndoLog log;
+  std::vector<Word> slots(UndoLog::kChunkEntries + 50);
+  for (std::size_t i = 0; i < UndoLog::kChunkEntries; ++i) {
+    log.record(EntryKind::kObjectField, &slots[i], 1, nullptr, 0);
+    slots[i] = 9;
+  }
+  const std::size_t mark = log.watermark();
+  ASSERT_EQ(mark, UndoLog::kChunkEntries);
+  for (std::size_t i = 0; i < 50; ++i) {
+    log.record(EntryKind::kObjectField, &slots[mark + i], 2, nullptr, 0);
+    slots[mark + i] = 9;
+  }
+  log.rollback_to(mark);
+  EXPECT_EQ(log.size(), mark);
+  EXPECT_EQ(slots[mark], 2u);      // inner frame undone
+  EXPECT_EQ(slots[mark - 1], 9u);  // outer frame untouched
+  // The log must keep working past the boundary cursor.
+  log.record(EntryKind::kObjectField, &slots[mark], slots[mark], nullptr, 0);
+  EXPECT_EQ(log.size(), mark + 1);
+  EXPECT_EQ(log.entry(mark).old_value, 2u);
+}
+
+TEST(UndoLogTest, ChunksRetainedAcrossCommit) {
+  // discard_all() keeps the chunks: a steady-state section sized like the
+  // previous one never re-allocates.
+  UndoLog log(4);
+  Word s = 0;
+  for (std::size_t i = 0; i < 2 * UndoLog::kChunkEntries; ++i) {
+    log.record(EntryKind::kObjectField, &s, 0, nullptr, 0);
+  }
+  const std::size_t cap = log.capacity();
+  EXPECT_GE(cap, 2 * UndoLog::kChunkEntries);
+  log.discard_all();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.capacity(), cap);
+  for (std::size_t i = 0; i < 2 * UndoLog::kChunkEntries; ++i) {
+    log.record(EntryKind::kObjectField, &s, 0, nullptr, 0);
+  }
+  EXPECT_EQ(log.capacity(), cap);  // no growth on the second section
+}
+
+TEST(UndoLogTest, StatsIsConstAndFoldsLiveHighWater) {
+  UndoLog log;
+  Word s = 0;
+  for (int i = 0; i < 7; ++i) {
+    log.record(EntryKind::kObjectField, &s, 0, nullptr, 0);
+  }
+  // No cold path (growth/rollback/commit) has run since the appends: the
+  // snapshot must still report the live size as the high water.
+  const UndoLog& clog = log;
+  EXPECT_EQ(clog.stats().high_water, 7u);
+  log.rollback_to(3);
+  EXPECT_EQ(clog.stats().high_water, 7u);  // sticky across truncation
+}
+
+TEST(UndoLogTest, ForEachAboveReverseVisitsNewestFirst) {
+  UndoLog log;
+  Word s = 0;
+  for (Word v = 0; v < 5; ++v) {
+    log.record(EntryKind::kObjectField, &s, v, nullptr, 0);
+  }
+  std::vector<Word> seen;
+  log.for_each_above_reverse(2, [&](const Entry& e) {
+    seen.push_back(e.old_value);
+  });
+  EXPECT_EQ(seen, (std::vector<Word>{4, 3, 2}));
 }
 
 TEST(UndoLogTest, RollbackToCurrentWatermarkIsNoop) {

@@ -2,20 +2,32 @@
 // prioritized monitor queues).
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "monitor/monitor.hpp"
 #include "rt/scheduler.hpp"
 
 namespace rvk::rt {
 namespace {
 
-// Threads need a scheduler to exist; build a throwaway one and park the
-// spawned threads (never run) purely as queue payloads.
+// Queue payloads are detached VThreads (never spawned, never run): spawning
+// would link them into the scheduler's ready queue, and a thread can sit in
+// at most one intrusive queue at a time.
 class WaitQueueTest : public ::testing::Test {
  protected:
   VThread* make_thread(int priority) {
-    return sched_.spawn("t" + std::to_string(++n_), priority, [] {});
+    ++n_;
+    threads_.push_back(std::make_unique<VThread>(
+        &sched_, static_cast<ThreadId>(n_), "t" + std::to_string(n_),
+        priority, [] {}, /*stack_size=*/4096));
+    return threads_.back().get();
   }
 
   Scheduler sched_;
+  std::vector<std::unique_ptr<VThread>> threads_;
   int n_ = 0;
 };
 
@@ -85,6 +97,59 @@ TEST_F(WaitQueueTest, HasWaiterAbove) {
   EXPECT_FALSE(q.has_waiter_above(10));
 }
 
+// ---- reposition(): priority changes while queued (set_priority re-buckets
+// in place; priority inheritance boosts holders that may themselves be
+// parked in some queue) ----
+
+TEST_F(WaitQueueTest, SetPriorityWhileQueuedRebuckets) {
+  WaitQueue q;
+  VThread* a = make_thread(5);
+  VThread* b = make_thread(5);
+  VThread* c = make_thread(5);
+  q.push(a);
+  q.push(b);
+  q.push(c);
+  c->set_priority(9);
+  EXPECT_EQ(q.pop_best(), c);
+  EXPECT_EQ(q.pop_best(), a);
+  EXPECT_EQ(q.pop_best(), b);
+}
+
+TEST_F(WaitQueueTest, RepositionPreservesArrivalOrderInDestinationBucket) {
+  WaitQueue q;
+  VThread* early = make_thread(5);
+  VThread* late = make_thread(9);
+  q.push(early);  // arrival seq 0
+  q.push(late);   // arrival seq 1
+  early->set_priority(9);
+  // Boosting `early` to the same level as `late` must not make it younger:
+  // ties at a level are broken by original arrival order, exactly as the
+  // old scan-the-whole-queue pop did.
+  EXPECT_EQ(q.pop_best(), early);
+  EXPECT_EQ(q.pop_best(), late);
+}
+
+TEST_F(WaitQueueTest, SetPriorityDownwardWhileQueued) {
+  WaitQueue q;
+  VThread* hi = make_thread(9);
+  VThread* lo = make_thread(5);
+  q.push(hi);
+  q.push(lo);
+  hi->set_priority(3);
+  EXPECT_TRUE(q.has_waiter_above(4));
+  EXPECT_EQ(q.pop_best(), lo);
+  EXPECT_EQ(q.pop_best(), hi);
+}
+
+TEST_F(WaitQueueTest, SetPriorityOffQueueDoesNotTouchAnyQueue) {
+  WaitQueue q;
+  VThread* a = make_thread(5);
+  a->set_priority(8);  // not queued anywhere: must be a plain field update
+  q.push(a);
+  EXPECT_EQ(q.peek_best(), a);
+  EXPECT_TRUE(q.has_waiter_above(7));
+}
+
 TEST_F(WaitQueueTest, FifoPreservedAcrossInterleavedPriorities) {
   WaitQueue q;
   VThread* lo1 = make_thread(2);
@@ -99,6 +164,37 @@ TEST_F(WaitQueueTest, FifoPreservedAcrossInterleavedPriorities) {
   EXPECT_EQ(q.pop_best(), hi2);
   EXPECT_EQ(q.pop_best(), lo1);
   EXPECT_EQ(q.pop_best(), lo2);
+}
+
+// ---- Monitor wakeup order rides on the same structure: regression that
+// contended acquisition still hands off by priority, FIFO within a level
+// (§4: "When a thread releases a monitor, another thread is scheduled from
+// the queue" in priority order) ----
+
+TEST(MonitorWakeupOrderTest, ReleaseWakesByPriorityThenFifo) {
+  Scheduler s;
+  monitor::BlockingMonitor m("m");
+  std::vector<std::string> order;
+  s.spawn("holder", kNormPriority, [&] {
+    m.acquire();
+    // Let every contender run up to its blocking acquire.
+    for (int i = 0; i < 20; ++i) s.yield_now();
+    m.release();
+  });
+  for (const auto& [name, prio] :
+       {std::pair<const char*, int>{"lo1", 2}, {"hi1", 8}, {"lo2", 2},
+        {"hi2", 8}, {"mid", 5}}) {
+    s.spawn(name, prio, [&m, &order, name = std::string(name)] {
+      m.acquire();
+      order.push_back(name);
+      m.release();
+    });
+  }
+  s.run();
+  // Highest priority first; FIFO among equals (hi1 before hi2, lo1 before
+  // lo2) — byte-identical to the pre-bitmap linear-scan behaviour.
+  EXPECT_EQ(order, (std::vector<std::string>{"hi1", "hi2", "mid", "lo1",
+                                             "lo2"}));
 }
 
 }  // namespace
