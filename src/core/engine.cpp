@@ -94,6 +94,11 @@ rt::VThread* Engine::thread_by_id(std::uint32_t tid) {
   return it != threads_by_id_.end() ? it->second : nullptr;
 }
 
+const ThreadSync* Engine::find_sync(const rt::VThread* t) const {
+  auto it = sync_states_.find(const_cast<rt::VThread*>(t));
+  return it != sync_states_.end() ? it->second.get() : nullptr;
+}
+
 // ---------------------------------------------------------------------------
 // Frame lifecycle
 
@@ -115,6 +120,7 @@ std::uint64_t Engine::enter_frame(RevocableMonitor& m, rt::VThread* t,
   if (cfg_.trace) jmm::Trace::record_acquire(&m);
   analysis::frame_event(
       {analysis::FrameEvent::Kind::kEnter, t, f.id, &m, &ts.frames});
+  emit(LifecycleEvent::Kind::kSectionEnter, t, f.id, &m);
   return f.id;
 }
 
@@ -149,6 +155,7 @@ void Engine::commit_frame(rt::VThread* t) {
     t->revoke_is_deadlock = false;
     ++stats_.revocations_lost_to_commit;
     end_boost(t);
+    emit(LifecycleEvent::Kind::kRevocationLostToCommit, t, f.id, f.monitor);
   }
 
   if (ts.frames.empty()) {
@@ -163,6 +170,7 @@ void Engine::commit_frame(rt::VThread* t) {
   f.monitor->release();
   ++stats_.sections_committed;
   if (cfg_.trace) jmm::Trace::record_release(f.monitor);
+  emit(LifecycleEvent::Kind::kSectionCommit, t, f.id, f.monitor);
 }
 
 void Engine::abort_frame(rt::VThread* t, std::uint64_t expected_frame) {
@@ -214,6 +222,7 @@ void Engine::abort_frame(rt::VThread* t, std::uint64_t expected_frame) {
     jmm::Trace::record_abort_frame(f.id);
     jmm::Trace::record_release(f.monitor);
   }
+  emit(LifecycleEvent::Kind::kSectionAbort, t, f.id, f.monitor);
 }
 
 void Engine::after_rollback_backoff(rt::VThread* t, int retries,
@@ -285,6 +294,7 @@ void Engine::deliver(rt::VThread* t) {
     // The section ended (or was already rolled back) before delivery.
     ++stats_.revocations_dropped_stale;
     end_boost(t);
+    emit(LifecycleEvent::Kind::kRevocationDroppedStale, t, target, nullptr);
     return;
   }
   if (f->nonrevocable) {
@@ -292,6 +302,7 @@ void Engine::deliver(rt::VThread* t) {
     // JMM (§2.2) — the request is refused and the requester waits normally.
     ++stats_.revocations_denied_pinned;
     end_boost(t);
+    emit(LifecycleEvent::Kind::kRevocationDeniedPinned, t, target, f->monitor);
     return;
   }
   t->in_rollback = true;
@@ -299,6 +310,7 @@ void Engine::deliver(rt::VThread* t) {
   // id >= target, none of which may be pinned (upward closure, §2.2).
   analysis::frame_event(
       {analysis::FrameEvent::Kind::kDeliver, t, target, nullptr, &ts.frames});
+  emit(LifecycleEvent::Kind::kRevocationDelivered, t, target, f->monitor);
   throw RollbackException(target, deadlock);
 }
 
@@ -326,6 +338,7 @@ bool Engine::request_revocation(rt::VThread* owner, RevocableMonitor& m,
   if (f == nullptr) return false;  // monitor taken outside synchronized()
   if (f->nonrevocable) {
     ++stats_.revocations_denied_pinned;
+    emit(LifecycleEvent::Kind::kRevocationDeniedPinned, owner, f->id, &m);
     return false;
   }
   if (f->revocations >= cfg_.revocation_budget) {
@@ -343,9 +356,11 @@ bool Engine::request_revocation(rt::VThread* owner, RevocableMonitor& m,
     analysis::frame_event(
         {analysis::FrameEvent::Kind::kPin, owner, f->id, nullptr, &ts.frames});
     ++stats_.revocations_denied_budget;
+    emit(LifecycleEvent::Kind::kRevocationDeniedBudget, owner, f->id, &m);
     return false;
   }
   ++stats_.revocations_requested;
+  emit(LifecycleEvent::Kind::kRevocationRequested, owner, f->id, &m);
   if (owner->revoke_requested) {
     // Merge with the pending request; the outermost target wins so the
     // unwind satisfies both, and "deadlock" is sticky.
@@ -415,6 +430,7 @@ void Engine::on_wait_pin(rt::VThread* t) {
   if (pinned) {
     analysis::frame_event({analysis::FrameEvent::Kind::kPin, t,
                            t->current_frame_id, nullptr, &ts.frames});
+    emit(LifecycleEvent::Kind::kFramePinned, t, t->current_frame_id, nullptr);
   }
 }
 
@@ -435,6 +451,7 @@ void Engine::pin_current_frames(PinReason reason) {
   if (pinned) {
     analysis::frame_event({analysis::FrameEvent::Kind::kPin, t,
                            t->current_frame_id, nullptr, &ts.frames});
+    emit(LifecycleEvent::Kind::kFramePinned, t, t->current_frame_id, nullptr);
   }
 }
 
@@ -468,6 +485,7 @@ bool Engine::detect_and_break_deadlock(rt::VThread* t, RevocableMonitor& m) {
   }
   if (cur != t) return false;
   ++stats_.deadlocks_detected;
+  emit(LifecycleEvent::Kind::kDeadlockDetected, t, 0, &m);
 
   // Victim selection: the lowest-priority cycle member whose section for its
   // cycle monitor is still revocable.
@@ -494,6 +512,8 @@ bool Engine::detect_and_break_deadlock(rt::VThread* t, RevocableMonitor& m) {
   if (request_revocation(victim->holder, *victim->monitor,
                          /*deadlock=*/true, boost_to)) {
     ++stats_.deadlocks_broken;
+    emit(LifecycleEvent::Kind::kDeadlockBroken, victim->holder, 0,
+         victim->monitor);
     return true;
   }
   return false;
@@ -519,8 +539,13 @@ void Engine::background_sweep() {
 bool Engine::on_stall() {
   if (!cfg_.revocation_enabled || !cfg_.deadlock_detection) return false;
   // Nothing is runnable; look for a breakable cycle among blocked threads.
-  for (const auto& [t, m] : waits_for_) {
-    if (detect_and_break_deadlock(t, *m)) return true;
+  // Walk threads in spawn order (not unordered_map order, which varies
+  // across processes) so victim selection — and therefore every schedule
+  // downstream of it — is identical on record and replay (DESIGN.md §9).
+  for (rt::VThread* t : sched_.threads()) {
+    auto it = waits_for_.find(t);
+    if (it == waits_for_.end()) continue;
+    if (detect_and_break_deadlock(t, *it->second)) return true;
   }
   return false;
 }
@@ -545,6 +570,7 @@ void Engine::pin_frames_up_to(rt::VThread* writer, std::uint64_t frame_id,
   if (pinned) {
     analysis::frame_event({analysis::FrameEvent::Kind::kPin, writer, frame_id,
                            nullptr, &ts.frames});
+    emit(LifecycleEvent::Kind::kFramePinned, writer, frame_id, nullptr);
   }
 }
 

@@ -128,6 +128,33 @@ struct EngineConfig {
   bool analyze = false;
 };
 
+// Engine-level transition, published through the lifecycle hook so external
+// observers (the schedule-exploration harness, DESIGN.md §9) can follow the
+// protocol state machine without polling.  Events fire at the point the
+// transition becomes visible to other threads; `frame` is the affected frame
+// id (0 when not frame-specific) and `monitor` the monitor involved
+// (nullptr when none / not applicable).
+struct LifecycleEvent {
+  enum class Kind : std::uint8_t {
+    kSectionEnter,
+    kSectionCommit,
+    kSectionAbort,
+    kRevocationRequested,
+    kRevocationDelivered,      // RollbackException about to be thrown
+    kRevocationDeniedPinned,
+    kRevocationDeniedBudget,
+    kRevocationDroppedStale,   // section already gone at delivery
+    kRevocationLostToCommit,   // section committed before delivery
+    kFramePinned,
+    kDeadlockDetected,
+    kDeadlockBroken,
+  };
+  Kind kind;
+  rt::VThread* thread;
+  std::uint64_t frame;
+  RevocableMonitor* monitor;
+};
+
 struct EngineStats {
   std::uint64_t sections_entered = 0;
   std::uint64_t sections_committed = 0;
@@ -277,6 +304,19 @@ class Engine {
 
   ThreadSync& sync_of(rt::VThread* t);
 
+  // Read-only view of a thread's section state; unlike sync_of it never
+  // inserts, so it is safe from scheduler context (exploration invariant
+  // checks between dispatches).  nullptr if the thread never entered a
+  // section.
+  const ThreadSync* find_sync(const rt::VThread* t) const;
+
+  // Observer for engine transitions (see LifecycleEvent).  The hook runs
+  // inside the transition — often inside a forbidden region — so it must
+  // not block, yield, or enter a monitor.  One observer at a time.
+  void set_lifecycle_hook(std::function<void(const LifecycleEvent&)> f) {
+    lifecycle_hook_ = std::move(f);
+  }
+
  private:
   std::uint64_t enter_frame(RevocableMonitor& m, rt::VThread* t,
                             int budget_used);
@@ -317,6 +357,13 @@ class Engine {
 
   rt::VThread* thread_by_id(std::uint32_t tid);
 
+  void emit(LifecycleEvent::Kind kind, rt::VThread* t, std::uint64_t frame,
+            RevocableMonitor* m) {
+    if (lifecycle_hook_) [[unlikely]] {
+      lifecycle_hook_(LifecycleEvent{kind, t, frame, m});
+    }
+  }
+
   rt::Scheduler& sched_;
   EngineConfig cfg_;
   EngineStats stats_;
@@ -330,6 +377,7 @@ class Engine {
   std::vector<std::unique_ptr<RevocableMonitor>> owned_monitors_;
   std::uint64_t next_frame_id_ = 1;
   bool analyzing_ = false;  // this engine installed the analyzer
+  std::function<void(const LifecycleEvent&)> lifecycle_hook_;
 
   friend class RevocableMonitor;
 };

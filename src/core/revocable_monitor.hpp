@@ -23,7 +23,10 @@ namespace rvk::core {
 
 class Engine;
 
-class RevocableMonitor final : public monitor::MonitorBase {
+// Not final: the exploration harness derives fault-injection variants (an
+// always-reserving release) to prove its invariant checks catch protocol
+// violations.  Production code should not subclass.
+class RevocableMonitor : public monitor::MonitorBase {
  public:
   // Monitors register with their engine for background inversion sweeps; the
   // engine must outlive the monitor.

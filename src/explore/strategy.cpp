@@ -1,0 +1,146 @@
+#include "explore/strategy.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "rt/vthread.hpp"
+
+namespace rvk::explore {
+
+// ---------------------------------------------------------------------------
+// DfsStrategy
+
+DfsStrategy::DfsStrategy(int preemption_bound) : bound_(preemption_bound) {
+  RVK_CHECK(preemption_bound >= 0);
+}
+
+void DfsStrategy::begin_schedule() {
+  path_.clear();
+  depth_ = 0;
+}
+
+void DfsStrategy::order_at(std::uint32_t num_candidates,
+                           std::int32_t prev_index, bool can_preempt,
+                           std::vector<std::uint32_t>& out) {
+  out.clear();
+  if (prev_index < 0) {
+    // Forced switch: every candidate is a free branch.
+    for (std::uint32_t i = 0; i < num_candidates; ++i) out.push_back(i);
+    return;
+  }
+  out.push_back(static_cast<std::uint32_t>(prev_index));
+  if (!can_preempt) return;
+  for (std::uint32_t i = 0; i < num_candidates; ++i) {
+    if (i != static_cast<std::uint32_t>(prev_index)) out.push_back(i);
+  }
+}
+
+rt::VThread* DfsStrategy::pick(const std::vector<rt::VThread*>& candidates,
+                               int prev_index) {
+  std::uint32_t choice;
+  if (depth_ < prefix_.size()) {
+    // Re-steer down the recorded prefix; determinism guarantees the same
+    // decision points reappear, which this self-check enforces.
+    choice = prefix_[depth_];
+    RVK_CHECK_MSG(choice < candidates.size(),
+                  "DFS prefix diverged: decision point shrank across runs");
+  } else {
+    // First visit below the prefix: take the default (no preemption).
+    choice = prev_index >= 0 ? static_cast<std::uint32_t>(prev_index) : 0;
+  }
+  path_.push_back(Node{static_cast<std::uint32_t>(candidates.size()), choice,
+                       prev_index});
+  ++depth_;
+  return candidates[choice];
+}
+
+bool DfsStrategy::next_schedule() {
+  // Preemptions consumed before each node of the just-finished schedule.
+  std::vector<int> budget_before(path_.size() + 1, 0);
+  for (std::size_t i = 0; i < path_.size(); ++i) {
+    const Node& n = path_[i];
+    const bool preempt =
+        n.prev_index >= 0 &&
+        n.chosen != static_cast<std::uint32_t>(n.prev_index);
+    budget_before[i + 1] = budget_before[i] + (preempt ? 1 : 0);
+  }
+  // Backtrack: deepest node with an unexplored sibling choice wins.
+  std::vector<std::uint32_t> order;
+  for (std::size_t i = path_.size(); i-- > 0;) {
+    const Node& n = path_[i];
+    order_at(n.num_candidates, n.prev_index, budget_before[i] < bound_, order);
+    auto it = std::find(order.begin(), order.end(), n.chosen);
+    RVK_CHECK_MSG(it != order.end(), "DFS path records an impossible choice");
+    ++it;
+    if (it == order.end()) continue;
+    prefix_.clear();
+    prefix_.reserve(i + 1);
+    for (std::size_t j = 0; j < i; ++j) prefix_.push_back(path_[j].chosen);
+    prefix_.push_back(*it);
+    return true;
+  }
+  return false;  // space exhausted under the bound
+}
+
+// ---------------------------------------------------------------------------
+// RandomStrategy
+
+RandomStrategy::RandomStrategy(std::uint64_t seed, std::uint64_t trials,
+                               unsigned preempt_percent)
+    : seed_(seed),
+      trials_(trials),
+      preempt_percent_(preempt_percent),
+      rng_(seed) {}
+
+void RandomStrategy::begin_schedule() {
+  // Independent stream per trial, derived from the base seed so the whole
+  // campaign replays from RVK_EXPLORE_SEED alone.
+  rng_ = SplitMix64(seed_ + trial_);
+}
+
+rt::VThread* RandomStrategy::pick(const std::vector<rt::VThread*>& candidates,
+                                  int prev_index) {
+  const std::size_t k = candidates.size();
+  if (k == 1) return candidates.front();  // forced: spend no randomness
+  if (prev_index < 0) {
+    return candidates[rng_.next_below(k)];
+  }
+  if (!rng_.next_percent(preempt_percent_)) return candidates[prev_index];
+  // Preempt: uniform over the other candidates.
+  std::size_t r = rng_.next_below(k - 1);
+  if (r >= static_cast<std::size_t>(prev_index)) ++r;
+  return candidates[r];
+}
+
+bool RandomStrategy::next_schedule() { return ++trial_ < trials_; }
+
+// ---------------------------------------------------------------------------
+// ReplayStrategy
+
+ReplayStrategy::ReplayStrategy(std::vector<Decision> trace)
+    : trace_(std::move(trace)) {}
+
+rt::VThread* ReplayStrategy::pick(const std::vector<rt::VThread*>& candidates,
+                                  int prev_index) {
+  const std::size_t d = depth_++;
+  if (divergence_.empty() && d < trace_.size()) {
+    const Decision& rec = trace_[d];
+    if (rec.candidates != candidates.size()) {
+      divergence_ = "replay diverged at decision " + std::to_string(d) +
+                    ": trace recorded " + std::to_string(rec.candidates) +
+                    " candidates, live run has " +
+                    std::to_string(candidates.size());
+    } else {
+      for (rt::VThread* t : candidates) {
+        if (t->id() == rec.chosen) return t;
+      }
+      divergence_ = "replay diverged at decision " + std::to_string(d) +
+                    ": recorded thread id " + std::to_string(rec.chosen) +
+                    " is not a candidate";
+    }
+  }
+  // Past the trace (or diverged): deterministic default continuation.
+  return prev_index >= 0 ? candidates[prev_index] : candidates.front();
+}
+
+}  // namespace rvk::explore

@@ -1,0 +1,125 @@
+// Exploration strategies: who decides the next dispatch, and how the space
+// of schedules is enumerated across runs (DESIGN.md §9).
+//
+// The scheduler's pick hook presents every decision point as a sorted
+// candidate list; a strategy answers with one candidate.  Because the
+// runtime is quasi-preemptive (context switches only at yield points,
+// §3.1 note 4), the choice sequence determines the schedule completely, so
+// a strategy that enumerates choice sequences enumerates interleavings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "explore/trace.hpp"
+
+namespace rvk::rt {
+class VThread;
+}  // namespace rvk::rt
+
+namespace rvk::explore {
+
+class ExplorationStrategy {
+ public:
+  virtual ~ExplorationStrategy() = default;
+
+  // Called before each schedule starts (fresh scheduler + engine).
+  virtual void begin_schedule() {}
+
+  // Chooses among `candidates` (non-empty, sorted by ascending thread id so
+  // index i names the same thread at identical decision points across
+  // runs).  `prev_index` is the index of the thread dispatched last if it
+  // is still a candidate, -1 when the switch is forced (it blocked, slept,
+  // or finished).  Runs in scheduler context: must not block, yield, or
+  // throw.
+  virtual rt::VThread* pick(const std::vector<rt::VThread*>& candidates,
+                            int prev_index) = 0;
+
+  // Advances to the next schedule; false when the search space (or trial
+  // budget) is exhausted.
+  virtual bool next_schedule() { return false; }
+};
+
+// Bounded-exhaustive depth-first search in the style of CHESS: every
+// schedule reachable with at most `preemption_bound` preemptions is
+// visited exactly once.  A *preemption* is choosing a thread other than
+// the still-runnable previous thread; forced switches are free but still
+// branch over every candidate.  The bound makes the space tractable while
+// keeping the empirically bug-rich schedules (most concurrency bugs need
+// very few preemptions).
+class DfsStrategy final : public ExplorationStrategy {
+ public:
+  explicit DfsStrategy(int preemption_bound);
+
+  void begin_schedule() override;
+  rt::VThread* pick(const std::vector<rt::VThread*>& candidates,
+                    int prev_index) override;
+  bool next_schedule() override;
+
+ private:
+  struct Node {
+    std::uint32_t num_candidates;
+    std::uint32_t chosen;     // index into the sorted candidate list
+    std::int32_t prev_index;  // -1 on forced switches
+  };
+
+  // Enumeration order at a node, default choice first: keep the previous
+  // thread (no preemption) then the other indices ascending if budget
+  // remains; a forced switch orders plain 0..k-1 and costs nothing.
+  static void order_at(std::uint32_t num_candidates, std::int32_t prev_index,
+                       bool can_preempt, std::vector<std::uint32_t>& out);
+
+  int bound_;
+  std::vector<Node> path_;             // decisions of the schedule in flight
+  std::vector<std::uint32_t> prefix_;  // forced choices for the next schedule
+  std::size_t depth_ = 0;
+};
+
+// Seeded random walk: each trial re-seeds a SplitMix64 from (base seed,
+// trial index) and at every decision keeps the previous thread with
+// probability (100 - preempt_percent), otherwise switches uniformly to one
+// of the other candidates.  Large state spaces the DFS cannot cover get
+// probabilistic coverage that is still fully replayable from the trace.
+class RandomStrategy final : public ExplorationStrategy {
+ public:
+  RandomStrategy(std::uint64_t seed, std::uint64_t trials,
+                 unsigned preempt_percent);
+
+  void begin_schedule() override;
+  rt::VThread* pick(const std::vector<rt::VThread*>& candidates,
+                    int prev_index) override;
+  bool next_schedule() override;
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t trials_;
+  unsigned preempt_percent_;
+  std::uint64_t trial_ = 0;
+  SplitMix64 rng_;
+};
+
+// Replays a recorded decision trace.  Each decision is validated against
+// the live run (candidate count, chosen thread present); a mismatch is
+// recorded as a divergence — the system stopped being deterministic with
+// respect to the trace — and the replay continues with default choices so
+// the run still terminates.  Past the end of the trace, default choices
+// (previous thread, else lowest id) extend the schedule deterministically.
+class ReplayStrategy final : public ExplorationStrategy {
+ public:
+  explicit ReplayStrategy(std::vector<Decision> trace);
+
+  rt::VThread* pick(const std::vector<rt::VThread*>& candidates,
+                    int prev_index) override;
+
+  // Non-empty if the live run disagreed with the trace.
+  const std::string& divergence() const { return divergence_; }
+
+ private:
+  std::vector<Decision> trace_;
+  std::size_t depth_ = 0;
+  std::string divergence_;
+};
+
+}  // namespace rvk::explore

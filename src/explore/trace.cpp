@@ -1,0 +1,89 @@
+#include "explore/trace.hpp"
+
+#include <cctype>
+
+namespace rvk::explore {
+
+namespace {
+constexpr std::string_view kMagic = "rvkx1;";
+
+// Parses a decimal uint32 starting at text[pos]; advances pos.  Returns
+// false if no digits are present or the value overflows.
+bool parse_u32(std::string_view text, std::size_t& pos, std::uint32_t& out) {
+  std::uint64_t v = 0;
+  std::size_t start = pos;
+  while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    v = v * 10 + static_cast<std::uint64_t>(text[pos] - '0');
+    if (v > 0xFFFFFFFFULL) return false;
+    ++pos;
+  }
+  if (pos == start) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+}  // namespace
+
+std::string encode_trace(const std::vector<Decision>& trace) {
+  std::string out(kMagic);
+  std::size_t i = 0;
+  while (i < trace.size()) {
+    std::size_t run = 1;
+    while (i + run < trace.size() && trace[i + run] == trace[i]) ++run;
+    if (i != 0) out += ',';
+    out += std::to_string(trace[i].candidates);
+    out += ':';
+    out += std::to_string(trace[i].chosen);
+    if (run > 1) {
+      out += '*';
+      out += std::to_string(run);
+    }
+    i += run;
+  }
+  return out;
+}
+
+bool decode_trace(std::string_view text, std::vector<Decision>& out) {
+  out.clear();
+  // Find the payload line: skip '#' comment lines and blank lines.
+  std::string_view line;
+  while (!text.empty()) {
+    const std::size_t eol = text.find('\n');
+    line = text.substr(0, eol);
+    text = eol == std::string_view::npos ? std::string_view{}
+                                         : text.substr(eol + 1);
+    while (!line.empty() &&
+           std::isspace(static_cast<unsigned char>(line.front()))) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() &&
+           std::isspace(static_cast<unsigned char>(line.back()))) {
+      line.remove_suffix(1);
+    }
+    if (!line.empty() && line.front() != '#') break;
+    line = {};
+  }
+  if (line.size() < kMagic.size() || line.substr(0, kMagic.size()) != kMagic) {
+    return false;
+  }
+  std::size_t pos = kMagic.size();
+  if (pos == line.size()) return true;  // empty trace
+  for (;;) {
+    Decision d;
+    if (!parse_u32(line, pos, d.candidates)) return false;
+    if (pos >= line.size() || line[pos] != ':') return false;
+    ++pos;
+    if (!parse_u32(line, pos, d.chosen)) return false;
+    std::uint32_t run = 1;
+    if (pos < line.size() && line[pos] == '*') {
+      ++pos;
+      if (!parse_u32(line, pos, run) || run == 0) return false;
+    }
+    if (d.candidates == 0) return false;
+    for (std::uint32_t i = 0; i < run; ++i) out.push_back(d);
+    if (pos == line.size()) return true;
+    if (line[pos] != ',') return false;
+    ++pos;
+  }
+}
+
+}  // namespace rvk::explore

@@ -1,0 +1,44 @@
+// Decision-trace codec for the schedule-exploration harness (DESIGN.md §9).
+//
+// A schedule under exploration is fully determined by the sequence of
+// dispatch decisions: code between yield points is atomic (quasi-preemptive
+// green threads, §3.1 note 4), so recording which thread the strategy chose
+// at every decision point captures the entire interleaving.  A failing
+// schedule serializes to a short ASCII string that replays byte-for-byte
+// deterministically on any machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rvk::explore {
+
+// One dispatch decision: the scheduler offered `candidates` ready threads
+// and the strategy chose the thread with id `chosen`.  The chosen value is
+// a thread id, not an index — traces stay human-readable, and replay can
+// detect a diverged candidate set instead of silently picking the wrong
+// thread.
+struct Decision {
+  std::uint32_t candidates = 0;
+  std::uint32_t chosen = 0;
+
+  friend bool operator==(const Decision& a, const Decision& b) {
+    return a.candidates == b.candidates && a.chosen == b.chosen;
+  }
+};
+
+// Encoding: "rvkx1;" followed by comma-separated "candidates:chosen" pairs,
+// run-length compressed with a "*count" suffix for repeats — long
+// single-candidate stretches (threads draining alone) collapse to one
+// token.  Example: "rvkx1;1:2*40,3:1,3:3*2".
+std::string encode_trace(const std::vector<Decision>& trace);
+
+// Decodes encode_trace output into `out` (replaced, not appended).  Lines
+// starting with '#' and surrounding whitespace are ignored, so archived
+// trace files can carry a human-readable header.  Returns false on
+// malformed input.
+bool decode_trace(std::string_view text, std::vector<Decision>& out);
+
+}  // namespace rvk::explore

@@ -54,6 +54,11 @@ void MonitorBase::do_release(bool reserve) {
   owner_priority_ = 0;
   on_released(t);
   handoff(reserve);
+  // Count only release-time reservation *grants*, not the acquire-path
+  // surrender that passes an existing reservation along: the exploration
+  // harness checks grants never exceed rollback releases (CLAUDE.md: only
+  // rollback reserves; ordinary release must allow barging, §4).
+  if (reserve && reserved_ != nullptr) ++stats_.reservations;
 }
 
 void MonitorBase::adopt_owner(rt::VThread* t, int recursion) {

@@ -43,7 +43,8 @@ namespace rvk::monitor {
 struct MonitorStats {
   std::uint64_t acquires = 0;    // acquire() calls (including recursive)
   std::uint64_t contended = 0;   // acquires that had to block at least once
-  std::uint64_t handoffs = 0;    // release-time reservations granted
+  std::uint64_t handoffs = 0;    // release-time wakeups of the best waiter
+  std::uint64_t reservations = 0;  // releases that granted a reservation
   std::uint64_t steals = 0;      // reservations displaced by higher priority
   std::uint64_t waits = 0;
   std::uint64_t notifies = 0;
@@ -100,6 +101,10 @@ class MonitorBase {
   int deposited_priority() const { return owner_priority_; }
   bool held_by(const rt::VThread* t) const { return owner_ == t; }
   bool held_by_current() const { return owner_ == rt::current_vthread(); }
+  // Waiter the monitor is currently reserved for (nullptr when none).  Only
+  // rollback releases reserve (CLAUDE.md invariant); the exploration
+  // harness checks per-step that ordinary releases left this clear.
+  rt::VThread* reserved() const { return reserved_; }
   const MonitorStats& stats() const { return stats_; }
   const rt::WaitQueue& entry_queue() const { return entry_queue_; }
   const rt::WaitQueue& wait_set() const { return wait_set_; }

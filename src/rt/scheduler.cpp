@@ -129,7 +129,22 @@ VThread* Scheduler::pick_next() {
   // O(1) both ways: round-robin pops the single FIFO bucket; strict priority
   // is one find-first-set over the occupancy bitmap plus a list pop, FIFO
   // within the best level (first-arrived among the highest-priority ones).
-  return ready_.pop_best();
+  if (!pick_hook_) [[likely]] return ready_.pop_best();
+
+  // Exploration mode: enumerate the decision point for the hook.  The
+  // candidate list is sorted by thread id so index i means the same thread
+  // in every schedule that reaches an identical decision point — the
+  // property record/replay traces depend on.
+  if (ready_.empty()) return nullptr;
+  pick_candidates_.clear();
+  ready_.for_each([this](VThread* t) { pick_candidates_.push_back(t); });
+  std::sort(pick_candidates_.begin(), pick_candidates_.end(),
+            [](const VThread* a, const VThread* b) { return a->id() < b->id(); });
+  VThread* chosen = pick_hook_(pick_candidates_);
+  RVK_CHECK_MSG(chosen != nullptr, "pick hook returned no thread");
+  bool removed = ready_.remove(chosen);
+  RVK_CHECK_MSG(removed, "pick hook chose a thread that is not ready");
+  return chosen;
 }
 
 void Scheduler::dispatch(VThread* t) {

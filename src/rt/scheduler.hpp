@@ -112,6 +112,10 @@ class Scheduler {
     ++t->stats_.yield_points;
     if (t->forbidden_region_depth != 0) [[unlikely]] forbidden_switch_point(t);
     if (--t->quantum_left_ <= 0) switch_out(SwitchReason::kYield);
+    // Exploration probe: runs in green-thread context (so it may throw an
+    // invariant-violation exception through the normal thread-body unwinding
+    // path) after any switch, before revocation delivery.
+    if (step_hook_) [[unlikely]] step_hook_(current_);
     if (current_->revoke_requested) [[unlikely]] deliver_revocation();
   }
 
@@ -181,6 +185,27 @@ class Scheduler {
   // engine apply its own configuration after the scheduler was built.
   void set_background_period(std::uint64_t dispatches) {
     cfg_.background_period = dispatches;
+  }
+
+  // ---- Exploration hooks (explore/) ----
+
+  // When installed, pick_next() defers the dispatch choice to the hook: it
+  // receives every ready thread (sorted by id — a schedule-independent,
+  // deterministic enumeration of the decision point) and must return one of
+  // them.  Runs in scheduler context; it must not block, yield, or throw.
+  // Because context switches happen only at yield points, the sequence of
+  // these choices fully determines the interleaving — this is the substrate
+  // the schedule-exploration harness drives (DESIGN.md §9).
+  using PickHook = std::function<VThread*(const std::vector<VThread*>&)>;
+  void set_pick_hook(PickHook f) { pick_hook_ = std::move(f); }
+
+  // Called from every yield point in green-thread context, after any
+  // quantum switch and before revocation delivery.  Unlike the pick hook it
+  // may throw — the exploration harness uses that to fail a schedule from
+  // the checked thread, unwinding through the engine's normal commit/abort
+  // handling instead of tearing through the scheduler loop.
+  void set_step_hook(std::function<void(VThread*)> f) {
+    step_hook_ = std::move(f);
   }
 
   // ---- Introspection ----
@@ -255,6 +280,9 @@ class Scheduler {
   std::function<void(VThread*)> deliverer_;
   std::function<bool()> stall_hook_;
   std::function<void()> background_hook_;
+  PickHook pick_hook_;
+  std::function<void(VThread*)> step_hook_;
+  std::vector<VThread*> pick_candidates_;  // scratch, reused across dispatches
 };
 
 // Fast accessors for barrier code: the thread currently executing on this OS

@@ -320,6 +320,135 @@ TEST(NonRevocableTest, ManualPin) {
   EXPECT_EQ(fx.engine.stats().rollbacks_completed, 0u);
 }
 
+TEST(NonRevocableTest, RevocationTargetsOldestFrameOfContendedMonitor) {
+  // Revocation targets the oldest frame guarding the CONTENDED monitor, not
+  // the whole stack: lo nests outer→inner and hi contends INNER, so only
+  // the inner section is unwound and re-run — outer's frame (and its
+  // speculative writes) survive the rollback untouched.
+  Fixture fx;
+  RevocableMonitor* outer = fx.engine.make_monitor("outer");
+  RevocableMonitor* inner = fx.engine.make_monitor("inner");
+  heap::HeapObject* o_out = fx.heap.alloc("o_out", 1);
+  heap::HeapObject* o_in = fx.heap.alloc("o_in", 1);
+  int outer_runs = 0;
+  int inner_runs = 0;
+  int hi_saw_inner = -1;
+  std::vector<char> order;
+  fx.sched.spawn("lo", 2, [&] {
+    fx.engine.synchronized(*outer, [&] {
+      ++outer_runs;
+      o_out->set<int>(0, 7);
+      fx.engine.synchronized(*inner, [&] {
+        ++inner_runs;
+        o_in->set<int>(0, 9);
+        for (int i = 0; i < 1000; ++i) fx.sched.yield_point();
+      });
+      order.push_back('i');  // inner committed (on the re-run)
+    });
+    order.push_back('l');
+  });
+  fx.sched.spawn("hi", 8, [&] {
+    fx.sched.sleep_for(50);
+    fx.engine.synchronized(*inner, [&] {
+      hi_saw_inner = o_in->get<int>(0);
+    });
+    order.push_back('h');
+  });
+  fx.sched.run();
+  EXPECT_EQ(inner_runs, 2);  // revoked and re-run
+  EXPECT_EQ(outer_runs, 1);  // enclosing frame untouched by the unwind
+  EXPECT_EQ(hi_saw_inner, 0);  // inner's speculative write was undone...
+  EXPECT_EQ(o_out->get<int>(0), 7);  // ...but outer's survived the rollback
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 'h');  // hi entered inner before lo's re-run finished
+  const EngineStats& st = fx.engine.stats();
+  EXPECT_EQ(st.rollbacks_completed, 1u);
+  EXPECT_EQ(st.frames_aborted, 1u);  // ONLY the inner frame was unwound
+}
+
+TEST(NonRevocableTest, RecursiveEntryRevocationUnwindsToOldestFrame) {
+  // A recursive re-entry pushes its own frame; contending the recursively
+  // held monitor must unwind back to the OLDEST frame of that monitor (the
+  // outermost entry) so the monitor is fully released — every frame between
+  // is aborted along the way.
+  Fixture fx;
+  RevocableMonitor* a = fx.engine.make_monitor("a");
+  RevocableMonitor* b = fx.engine.make_monitor("b");
+  heap::HeapObject* o = fx.heap.alloc("o", 1);
+  int a_outer_runs = 0, b_runs = 0, a_again_runs = 0;
+  int hi_saw = -1;
+  fx.sched.spawn("lo", 2, [&] {
+    fx.engine.synchronized(*a, [&] {
+      ++a_outer_runs;
+      o->set<int>(0, 1);
+      fx.engine.synchronized(*b, [&] {
+        ++b_runs;
+        fx.engine.synchronized(*a, [&] {  // recursive re-entry of `a`
+          ++a_again_runs;
+          for (int i = 0; i < 1000; ++i) fx.sched.yield_point();
+        });
+      });
+    });
+  });
+  fx.sched.spawn("hi", 8, [&] {
+    fx.sched.sleep_for(50);
+    fx.engine.synchronized(*a, [&] { hi_saw = o->get<int>(0); });
+  });
+  fx.sched.run();
+  EXPECT_EQ(a_outer_runs, 2);  // unwound all the way to a's oldest frame
+  EXPECT_EQ(b_runs, 2);
+  EXPECT_EQ(a_again_runs, 2);
+  EXPECT_EQ(hi_saw, 0);  // the outermost frame's write was undone too
+  const EngineStats& st = fx.engine.stats();
+  EXPECT_EQ(st.rollbacks_completed, 1u);
+  EXPECT_EQ(st.frames_aborted, 3u);  // a(outer) + b + a(recursive)
+}
+
+TEST(NonRevocableTest, PinnedInnerFrameDeniesRevocationOfBothMonitors) {
+  // §2.2 upward closure, checked against BOTH monitors of a nest: a native
+  // call inside the inner section pins inner AND its enclosing outer frame,
+  // so contention on either monitor is denied while lo is inside.
+  Fixture fx;
+  RevocableMonitor* a = fx.engine.make_monitor("a");
+  RevocableMonitor* b = fx.engine.make_monitor("b");
+  int a_runs = 0, b_runs = 0;
+  std::vector<char> order;
+  fx.sched.spawn("lo", 2, [&] {
+    fx.engine.synchronized(*a, [&] {
+      ++a_runs;
+      fx.engine.synchronized(*b, [&] {
+        ++b_runs;
+        NativeCallScope native(fx.engine);  // pins b and, upward, a
+        for (int i = 0; i < 1000; ++i) fx.sched.yield_point();
+      });
+      for (int i = 0; i < 500; ++i) fx.sched.yield_point();
+    });
+    order.push_back('l');
+  });
+  fx.sched.spawn("hi_b", 8, [&] {
+    fx.sched.sleep_for(30);  // lo is inside b: contend the pinned inner
+    fx.engine.synchronized(*b, [] {});
+    order.push_back('b');
+  });
+  fx.sched.spawn("hi_a", 9, [&] {
+    fx.sched.sleep_for(60);  // contend the transitively pinned outer
+    fx.engine.synchronized(*a, [] {});
+    order.push_back('a');
+  });
+  fx.sched.run();
+  EXPECT_EQ(a_runs, 1);  // neither section ever re-ran
+  EXPECT_EQ(b_runs, 1);
+  ASSERT_EQ(order.size(), 3u);
+  // hi_b was denied while lo sat pinned inside b, and only got b after the
+  // inner section committed; hi_a had to wait out the whole outer section.
+  EXPECT_EQ(order[0], 'b');
+  EXPECT_EQ(order[1], 'l');
+  EXPECT_EQ(order[2], 'a');
+  const EngineStats& st = fx.engine.stats();
+  EXPECT_GE(st.revocations_denied_pinned, 2u);  // one denial per monitor
+  EXPECT_EQ(st.rollbacks_completed, 0u);
+}
+
 TEST(NonRevocableTest, JmmGuardOffSkipsDependencyTracking) {
   // The guard can be disabled for workloads whose shared accesses are all
   // monitor-mediated (like the paper's micro-benchmark); the ablation

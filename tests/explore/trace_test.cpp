@@ -1,0 +1,93 @@
+// Decision-trace codec (explore/trace.hpp): round-trips, run-length
+// compression, archived-file headers, and rejection of malformed input.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "explore/trace.hpp"
+
+namespace rvk::explore {
+namespace {
+
+std::vector<Decision> decode_ok(std::string_view text) {
+  std::vector<Decision> out;
+  EXPECT_TRUE(decode_trace(text, out)) << "rejected: " << text;
+  return out;
+}
+
+TEST(TraceCodecTest, EmptyTraceRoundTrips) {
+  const std::string enc = encode_trace({});
+  EXPECT_EQ(enc, "rvkx1;");
+  EXPECT_TRUE(decode_ok(enc).empty());
+}
+
+TEST(TraceCodecTest, SingleDecisionRoundTrips) {
+  const std::vector<Decision> trace{{3, 7}};
+  const std::string enc = encode_trace(trace);
+  EXPECT_EQ(enc, "rvkx1;3:7");
+  EXPECT_EQ(decode_ok(enc), trace);
+}
+
+TEST(TraceCodecTest, RunLengthCollapsesRepeats) {
+  std::vector<Decision> trace;
+  for (int i = 0; i < 40; ++i) trace.push_back({1, 2});
+  trace.push_back({3, 1});
+  trace.push_back({3, 3});
+  trace.push_back({3, 3});
+  const std::string enc = encode_trace(trace);
+  EXPECT_EQ(enc, "rvkx1;1:2*40,3:1,3:3*2");
+  EXPECT_EQ(decode_ok(enc), trace);
+}
+
+TEST(TraceCodecTest, MixedTraceRoundTrips) {
+  // Alternating + repeated decisions with multi-digit ids.
+  std::vector<Decision> trace;
+  for (std::uint32_t i = 1; i <= 12; ++i) {
+    trace.push_back({i, 100 + i});
+    trace.push_back({i, 100 + i});
+    trace.push_back({2, 1});
+  }
+  EXPECT_EQ(decode_ok(encode_trace(trace)), trace);
+}
+
+TEST(TraceCodecTest, ArchivedHeaderLinesAreSkipped) {
+  const std::string file =
+      "# rvk_explore failing schedule\n"
+      "# scenario: demo\n"
+      "\n"
+      "   rvkx1;2:1,2:2*3   \n";
+  const std::vector<Decision> expect{{2, 1}, {2, 2}, {2, 2}, {2, 2}};
+  EXPECT_EQ(decode_ok(file), expect);
+}
+
+TEST(TraceCodecTest, DecodeReplacesPreviousContents) {
+  std::vector<Decision> out{{9, 9}, {9, 9}};
+  ASSERT_TRUE(decode_trace("rvkx1;1:1", out));
+  EXPECT_EQ(out, (std::vector<Decision>{{1, 1}}));
+}
+
+TEST(TraceCodecTest, MalformedInputsRejected) {
+  const char* bad[] = {
+      "",                      // no payload line at all
+      "# only a comment\n",    // ditto
+      "1:1",                   // missing magic
+      "rvkx2;1:1",             // wrong version
+      "rvkx1;1",               // no ':' separator
+      "rvkx1;1:",              // missing chosen id
+      "rvkx1;:2",              // missing candidate count
+      "rvkx1;0:1",             // zero candidates is impossible
+      "rvkx1;1:2*",            // dangling run marker
+      "rvkx1;1:2*0",           // zero-length run
+      "rvkx1;1:2,",            // trailing comma
+      "rvkx1;1:2 3:4",         // embedded space instead of comma
+      "rvkx1;99999999999:1",   // candidate count overflows uint32
+  };
+  std::vector<Decision> out;
+  for (const char* text : bad) {
+    EXPECT_FALSE(decode_trace(text, out)) << "accepted: " << text;
+  }
+}
+
+}  // namespace
+}  // namespace rvk::explore

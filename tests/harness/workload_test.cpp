@@ -73,7 +73,10 @@ TEST(FigureRunnerTest, ProducesAllPointsAndPositiveNormals) {
   // Normalization sanity: unmodified @ 0% writes is its own baseline, and
   // the tick clock is deterministic, so it must normalize to exactly 1.
   EXPECT_DOUBLE_EQ(fig.panels[0].points[0].unmodified.ticks.mean, 1.0);
-  EXPECT_NEAR(fig.panels[0].points[0].unmodified.wall.mean, 1.0, 0.5);
+  // The wall-clock ratio is whatever the host machine was doing that
+  // millisecond — assert only positivity (the virtual-clock ratio above is
+  // the deterministic assertion; CLAUDE.md: no wall-clock assertions).
+  EXPECT_GT(fig.panels[0].points[0].unmodified.wall.mean, 0.0);
 }
 
 TEST(FigureRunnerTest, PrintAndAggregatesDoNotExplode) {

@@ -215,8 +215,14 @@ TEST(RevocableMutexTest, PriorityHandoffPrefersHighestWaiter) {
       s.set_nonrevocable();  // make waiters actually queue up
       holder_in.store(true);
       while (waiters.load() < 2) s.safepoint();
-      // small delay so both are inside acquire()
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      // Wait until both are actually parked inside acquire(): each bumps
+      // `contended` (under the mutex's internal lock) before joining the
+      // wait-set, so this condition — unlike a fixed sleep — cannot race
+      // with a contender that announced itself but has not blocked yet.
+      while (m.stats().contended < 2) {
+        s.safepoint();
+        std::this_thread::yield();
+      }
     });
   });
   auto contender = [&](int prio) {

@@ -209,5 +209,119 @@ TEST(DispatchTest, StaleTimerNeverFiresAfterEarlyWakeup) {
   EXPECT_GE(second_resume_at, 500u);
 }
 
+TEST(DispatchTest, SetPriorityRebucketsTimedWaiterInPlace) {
+  // A thread parked in a TIMED block sits in two structures at once: the
+  // wait queue (priority-bucketed) and the deadline heap.  Boosting it must
+  // re-bucket the queue node in place so wake_best honours the new priority,
+  // without disturbing the armed timer.
+  Scheduler s;
+  WaitQueue q;
+  std::vector<char> wake_order;
+  VThread* a = s.spawn("a", 3, [&] {
+    EXPECT_TRUE(s.block_current_on_for(q, 10000));
+    EXPECT_FALSE(s.current_thread()->timed_out);
+    wake_order.push_back('a');
+  });
+  VThread* b = s.spawn("b", 5, [&] {
+    EXPECT_TRUE(s.block_current_on_for(q, 10000));
+    wake_order.push_back('b');
+  });
+  s.spawn("booster", 7, [&] {
+    s.sleep_for(10);     // both are parked and timer-armed by now
+    a->set_priority(8);  // re-bucket: a (was 3) must now outrank b (5)
+    EXPECT_EQ(s.wake_best(q), a);
+    EXPECT_EQ(s.wake_best(q), b);
+  });
+  s.run();
+  EXPECT_EQ(wake_order, (std::vector<char>{'a', 'b'}));
+  // Early wakeups invalidated both deadline entries: nothing dragged the
+  // idle clock anywhere near the tick-10000 deadlines.
+  EXPECT_LT(s.now(), 10000u);
+}
+
+TEST(DispatchTest, RebucketedTimedWaiterStillTimesOutOnSchedule) {
+  // The flip side: set_priority must NOT cancel or re-arm the timer.  A
+  // boosted-but-never-woken timed waiter still times out at exactly its
+  // original virtual deadline.
+  Scheduler s;
+  WaitQueue q;
+  bool woken = true;
+  std::uint64_t resumed_at = 0;
+  VThread* t = s.spawn("t", 3, [&] {
+    woken = s.block_current_on_for(q, 250);
+    resumed_at = s.now();
+  });
+  s.spawn("booster", 7, [&] {
+    s.sleep_for(10);
+    t->set_priority(8);  // reposition while the tick-250 timer is armed
+  });
+  s.run();
+  EXPECT_FALSE(woken);
+  EXPECT_EQ(resumed_at, 250u);  // deadline unchanged by the re-bucket
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(DispatchTest, PickHookDrivesDispatchAndSeesSortedCandidates) {
+  // Exploration substrate: with a pick hook installed the dispatch choice
+  // is the hook's, and the candidate list it sees is sorted by thread id —
+  // a schedule-independent enumeration of the decision point.
+  SchedulerConfig cfg;
+  cfg.quantum = 1;
+  Scheduler s(cfg);
+  bool sorted_always = true;
+  std::uint64_t decision_points = 0;
+  s.set_pick_hook([&](const std::vector<VThread*>& cands) {
+    ++decision_points;
+    for (std::size_t i = 1; i < cands.size(); ++i) {
+      if (cands[i - 1]->id() >= cands[i]->id()) sorted_always = false;
+    }
+    return cands.back();  // always run the youngest ready thread
+  });
+  std::vector<char> order;
+  for (char name : {'a', 'b', 'c'}) {
+    s.spawn(std::string(1, name), kNormPriority, [&s, &order, name] {
+      for (int i = 0; i < 2; ++i) s.yield_point();
+      order.push_back(name);
+    });
+  }
+  s.run();
+  // Youngest-first dispatch runs c to completion, then b, then a — the
+  // exact inversion of the natural round-robin order.
+  EXPECT_EQ(order, (std::vector<char>{'c', 'b', 'a'}));
+  EXPECT_TRUE(sorted_always);
+  EXPECT_GT(decision_points, 0u);
+}
+
+struct StepStop {};
+
+TEST(DispatchTest, StepHookFiresPerYieldPointAndMayThrow) {
+  // The step hook runs in green-thread context at every yield point, so it
+  // may throw; the exception unwinds the checked thread's body like any
+  // thread-local failure (this is how the explorer fails a schedule).
+  SchedulerConfig cfg;
+  cfg.quantum = 1;
+  Scheduler s(cfg);
+  int steps = 0;
+  s.set_step_hook([&](VThread* t) {
+    EXPECT_EQ(t, s.current_thread());
+    if (++steps == 5) throw StepStop{};
+  });
+  std::string caught_in;
+  auto body = [&] {
+    try {
+      for (int i = 0; i < 3; ++i) s.yield_point();
+    } catch (const StepStop&) {
+      caught_in = s.current_thread()->name();
+    }
+  };
+  s.spawn("a", kNormPriority, body);
+  s.spawn("b", kNormPriority, body);
+  s.run();
+  // Round-robin with quantum 1 alternates a,b per tick: the 5th yield point
+  // is a's third, so a catches; b still reaches its own third yield.
+  EXPECT_EQ(steps, 6);
+  EXPECT_EQ(caught_in, "a");
+}
+
 }  // namespace
 }  // namespace rvk::rt
