@@ -2,17 +2,27 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "harness/ascii_plot.hpp"
 #include "harness/env.hpp"
 #include "harness/figures.hpp"
+#include "obs/recorder.hpp"
 
 namespace rvk::bench {
 
 // Runs one figure end to end: applies environment overrides, sweeps every
 // panel/write-ratio/VM combination, prints the paper-style table, and
 // writes a CSV when RVK_CSV is set.
+//
+// With RVK_OBS=1 (or RVK_OBS_METRICS / RVK_OBS_TRACE naming files) an
+// observability recorder spans the whole sweep: the metrics registry —
+// including the inversion-resolution latency histograms — accumulates
+// across every repetition, and the Chrome trace-event JSON keeps the last
+// repetition's interleaving (see DESIGN.md §10).
 inline int run_figure_main(harness::FigureSpec spec,
                            std::uint64_t paper_high_iters) {
   harness::apply_env(spec, paper_high_iters);
@@ -23,6 +33,11 @@ inline int run_figure_main(harness::FigureSpec spec,
       spec.base.sections_per_thread,
       static_cast<unsigned long long>(spec.base.low_iters),
       static_cast<unsigned long long>(spec.high_iters), spec.reps);
+  // Install here, not per repetition: per-rep Engines adopt this recorder
+  // instead of installing their own, so metrics survive Engine teardown.
+  const bool obs_owned =
+      obs::Recorder::env_enabled() && obs::Recorder::active() == nullptr;
+  if (obs_owned) obs::Recorder::install();
   harness::FigureResult fig = harness::run_figure(spec, &std::cerr);
   harness::print_figure(fig, std::cout);
   std::printf("\n");
@@ -37,6 +52,35 @@ inline int run_figure_main(harness::FigureSpec spec,
                    path.c_str());
     }
   }
+  if (obs::Recorder* rec = obs::Recorder::active()) {
+    const char* mp = std::getenv("RVK_OBS_METRICS");
+    const std::string metrics_path = (mp != nullptr && mp[0] != '\0')
+                                         ? std::string(mp)
+                                         : "obs_" + spec.id + "_metrics.json";
+    const char* tp = std::getenv("RVK_OBS_TRACE");
+    const std::string trace_path = (tp != nullptr && tp[0] != '\0')
+                                       ? std::string(tp)
+                                       : "obs_" + spec.id + "_trace.json";
+    std::ofstream mo(metrics_path);
+    if (mo) {
+      rec->export_metrics(mo, {{"figure", spec.id}, {"title", spec.title}});
+      std::printf("obs metrics written to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write obs metrics to %s\n",
+                   metrics_path.c_str());
+    }
+    std::ofstream to(trace_path);
+    if (to) {
+      rec->export_chrome_trace(to);
+      std::printf(
+          "obs trace written to %s (load in Perfetto or chrome://tracing)\n",
+          trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write obs trace to %s\n",
+                   trace_path.c_str());
+    }
+  }
+  if (obs_owned) obs::Recorder::uninstall();
   return 0;
 }
 

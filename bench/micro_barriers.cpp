@@ -13,10 +13,20 @@
 // per yield point.  The plain variants are the analyzer-off regression
 // baseline — they must not move when the analyzer code is linked in,
 // because every hook is a null-checked function pointer that stays null.
+//
+// The *Obs variants rerun the write slow path and the yield point with the
+// observability recorder installed (src/obs/).  Neither path carries an obs
+// hook — the recorder pays only at dispatch/switch, monitor, engine, and
+// undo-log lifecycle events — so these must match their obs-off twins
+// within noise; they exist to catch a hook creeping onto the per-operation
+// fast paths.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "core/engine.hpp"
 #include "heap/heap.hpp"
+#include "obs/recorder.hpp"
 #include "rt/scheduler.hpp"
 
 namespace {
@@ -71,6 +81,38 @@ void BM_WriteInsideSection(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_WriteInsideSection);
+
+void BM_WriteInsideSectionObs(benchmark::State& state) {
+  // Write slow path with the obs recorder live.  The store/log-append loop
+  // has no obs hook (the only obs event this loop ever causes is one
+  // undo-replay record per 2^18 stores, from the log-bounding rollback), so
+  // the delta vs BM_WriteInsideSection must be noise.
+  const bool owned = obs::Recorder::active() == nullptr;
+  if (owned) obs::Recorder::install();
+  rt::Scheduler sched;
+  core::Engine eng(sched);
+  heap::Heap h;
+  heap::HeapObject* o = h.alloc("o", 1);
+  core::RevocableMonitor* m = eng.make_monitor("m");
+  sched.spawn("bench", rt::kNormPriority, [&] {
+    eng.synchronized(*m, [&] {
+      rt::VThread* t = sched.current_thread();
+      std::uint64_t v = 0;
+      for (auto _ : state) {
+        o->set_word(0, ++v);
+        if (t->undo_log.size() >= (1u << 18)) {
+          t->undo_log.rollback_to(0);
+        }
+        benchmark::ClobberMemory();
+      }
+      t->undo_log.rollback_to(0);
+    });
+  });
+  sched.run();
+  if (owned) obs::Recorder::uninstall();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WriteInsideSectionObs);
 
 void BM_WriteUnlogged(benchmark::State& state) {
   heap::Heap h;
@@ -129,6 +171,27 @@ void BM_YieldPointNoSwitch(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_YieldPointNoSwitch);
+
+void BM_YieldPointObs(benchmark::State& state) {
+  // Yield point with the obs recorder live.  The yield point deliberately
+  // carries NO obs hook (activity is reconstructed from dispatch/switch
+  // events), and with an unexpiring quantum no switch ever happens — this
+  // must match BM_YieldPointNoSwitch within noise.
+  const bool owned = obs::Recorder::active() == nullptr;
+  if (owned) obs::Recorder::install();
+  rt::SchedulerConfig cfg;
+  cfg.quantum = 1 << 30;
+  rt::Scheduler sched(cfg);
+  sched.spawn("bench", rt::kNormPriority, [&] {
+    for (auto _ : state) {
+      sched.yield_point();
+    }
+  });
+  sched.run();
+  if (owned) obs::Recorder::uninstall();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_YieldPointObs);
 
 core::EngineConfig analyzed_config() {
   core::EngineConfig cfg;
@@ -201,4 +264,18 @@ BENCHMARK(BM_YieldPointAnalyzed);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  std::printf(
+      "\nExpected shape: writes outside a section cost a few ns (fast-path\n"
+      "test only); inside a section the log append adds a few ns more;\n"
+      "unlogged stores and clean reads are near the raw memory op.  The\n"
+      "*Analyzed variants price the checker (lockset + lint per access, one\n"
+      "field test per yield point).  The *Obs variants must match their\n"
+      "obs-off twins within noise: neither the barrier loops nor the yield\n"
+      "point carries an obs hook.\n");
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include "common/check.hpp"
 #include "core/revocable_monitor.hpp"
 #include "log/undo_log.hpp"
+#include "obs/recorder.hpp"
 #include "rt/scheduler.hpp"
 
 namespace rvk::analysis {
@@ -66,6 +67,10 @@ Analyzer* Analyzer::install() {
   heap::set_analysis_hook(&access_trampoline);
   detail::g_frame_hook = &frame_trampoline;
   rt::set_switch_probe(&switch_trampoline);
+  // The obs recorder self-reports through the same probe: an obs hook that
+  // could allocate (ring/profile registration) firing inside commit/abort
+  // or a release path is the same class of breach as a yield point there.
+  obs::set_breach_hook(&switch_trampoline);
   rt::set_region_marking(true);
   return g_analyzer.get();
 }
@@ -75,6 +80,7 @@ void Analyzer::uninstall() {
   heap::set_analysis_hook(nullptr);
   detail::g_frame_hook = nullptr;
   rt::set_switch_probe(nullptr);
+  obs::set_breach_hook(nullptr);
   rt::set_region_marking(false);
   // Surface breaches even from binaries that never ask for the report
   // (fig/bench runs under RVK_ANALYZE=1).

@@ -5,6 +5,8 @@
 #include "analysis/hooks.hpp"
 #include "heap/heap.hpp"
 #include "jmm/trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 
 namespace rvk::core {
 
@@ -47,9 +49,20 @@ Engine::Engine(rt::Scheduler& sched, EngineConfig cfg)
     analysis::Analyzer::install();
     analyzing_ = true;
   }
+
+  // Observability recorder: per-config or process-wide via RVK_OBS.  Unlike
+  // the analyzer, a recorder installed by someone else (harness, test) is
+  // adopted, not re-installed: metrics accumulate across engine lifetimes
+  // (the §4.1 harness builds a fresh Engine per repetition).
+  if ((cfg_.observe || obs::Recorder::env_enabled()) &&
+      obs::Recorder::active() == nullptr) {
+    obs::Recorder::install();
+    observing_ = true;
+  }
 }
 
 Engine::~Engine() {
+  if (observing_) obs::Recorder::uninstall();
   if (analyzing_) analysis::Analyzer::uninstall();
   heap::set_alloc_hook(nullptr);
   heap::set_tracked_read_hook(nullptr);
@@ -136,6 +149,11 @@ void Engine::commit_frame(rt::VThread* t) {
                          &ts.frames});
   Frame f = std::move(ts.frames.back());
   ts.frames.pop_back();
+  if (f.nonrevocable) {
+    // Pinned frame leaving the stack; forbidden-safe obs path (§2.2 pins
+    // are upward-closed, so unpins happen strictly at frame exit).
+    obs::on_engine(obs::EventKind::kUnpin, t, f.id, f.monitor);
+  }
 
   // Allocations stay speculative until the outermost commit: migrate them
   // to the parent frame (which may still abort and reclaim them).
@@ -185,6 +203,9 @@ void Engine::abort_frame(rt::VThread* t, std::uint64_t expected_frame) {
   Frame f = std::move(ts.frames.back());
   RVK_CHECK_MSG(f.id == expected_frame, "frame stack out of sync with unwind");
   ts.frames.pop_back();
+  if (f.nonrevocable) {
+    obs::on_engine(obs::EventKind::kUnpin, t, f.id, f.monitor);
+  }
 
   // Undo this frame's log segment (reverse replay), then release the
   // monitor — §3.1.2: "partial results … are reverted before any of the
@@ -269,6 +290,11 @@ void Engine::finish_rollback(const RollbackException& e, int retries) {
   t->in_rollback = false;
   end_boost(t);
   ++stats_.rollbacks_completed;
+  // Rollback complete, body about to re-execute: closes the obs
+  // rollback-latency window opened at kRevokeRequest.  Before the backoff
+  // sleep, so the histogram measures the mechanism, not the config knob.
+  obs::on_engine(obs::EventKind::kSectionRetry, t, e.target_frame(), nullptr,
+                 static_cast<std::uint64_t>(retries));
   after_rollback_backoff(t, retries, e.deadlock_victim());
 }
 
@@ -624,6 +650,66 @@ void Engine::on_alloc(heap::Heap* heap, heap::HeapObject* obj) {
   if (t == nullptr || t->sync_depth == 0) return;  // not speculative
   ThreadSync& ts = sync_of(t);
   ts.frames.back().allocs.emplace_back(heap, obj);
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+
+void Engine::emit(LifecycleEvent::Kind kind, rt::VThread* t,
+                  std::uint64_t frame, RevocableMonitor* m) {
+  if (lifecycle_hook_) [[unlikely]] {
+    lifecycle_hook_(LifecycleEvent{kind, t, frame, m});
+  }
+  if (!obs::recording()) [[likely]] return;
+  // Lifecycle kinds are the protocol state machine; obs event kinds are the
+  // trace vocabulary.  The mapping folds the four refusal/drop variants into
+  // kRevokeDenied/kRevokeDropped with the reason in the payload.
+  using K = LifecycleEvent::Kind;
+  using E = obs::EventKind;
+  switch (kind) {
+    case K::kSectionEnter:
+      obs::on_engine(E::kSectionEnter, t, frame, m);
+      break;
+    case K::kSectionCommit:
+      obs::on_engine(E::kSectionCommit, t, frame, m);
+      break;
+    case K::kSectionAbort:
+      obs::on_engine(E::kSectionAbort, t, frame, m);
+      break;
+    case K::kRevocationRequested:
+      obs::on_engine(E::kRevokeRequest, t, frame, m);
+      break;
+    case K::kRevocationDelivered:
+      obs::on_engine(E::kRevokeDeliver, t, frame, m);
+      break;
+    case K::kRevocationDeniedPinned:
+      obs::on_engine(E::kRevokeDenied, t, frame, m, /*aux=*/0);
+      break;
+    case K::kRevocationDeniedBudget:
+      obs::on_engine(E::kRevokeDenied, t, frame, m, /*aux=*/1);
+      break;
+    case K::kRevocationDroppedStale:
+    case K::kRevocationLostToCommit:
+      obs::on_engine(E::kRevokeDropped, t, frame, m);
+      break;
+    case K::kFramePinned:
+      obs::on_engine(E::kPin, t, frame, m);
+      break;
+    case K::kDeadlockDetected:
+      // Detection without resolution is registry-visible (EngineStats) but
+      // not a trace moment; kDeadlockBreak marks the victim.
+      break;
+    case K::kDeadlockBroken:
+      obs::on_engine(E::kDeadlockBreak, t, frame, m);
+      break;
+  }
+}
+
+void Engine::publish_metrics(obs::Registry& reg) {
+  obs::publish(reg, stats(), "engine.");
+  for (const RevocableMonitor* m : monitors_) {
+    obs::publish(reg, m->stats(), "monitor." + m->name() + ".stats.");
+  }
 }
 
 // ---------------------------------------------------------------------------

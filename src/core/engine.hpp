@@ -42,6 +42,10 @@
 #include "heap/object.hpp"
 #include "rt/scheduler.hpp"
 
+namespace rvk::obs {
+class Registry;
+}
+
 namespace rvk::core {
 
 // When the runtime looks for priority inversion (§1.1: "either at lock
@@ -126,6 +130,14 @@ struct EngineConfig {
   // lints, pin-closure audits.  ORed with the RVK_ANALYZE environment
   // variable, so any binary can be analyzed without a rebuild.
   bool analyze = false;
+
+  // Install the observability recorder (obs/) for this engine's lifetime:
+  // per-thread event rings, the metrics registry, inversion-latency
+  // profiling.  ORed with the RVK_OBS / RVK_OBS_TRACE / RVK_OBS_METRICS
+  // environment knobs.  If a recorder is already installed (a harness or
+  // test owns one across engine lifetimes), the engine records through it
+  // and leaves its lifetime alone.
+  bool observe = false;
 };
 
 // Engine-level transition, published through the lifecycle hook so external
@@ -223,11 +235,8 @@ class Engine {
         abort_frame(t, frame_id);
         if (e.target_frame() != frame_id) throw;  // unwind to outer section
         // This frame is the rollback target: retry from the top.
-        t->in_rollback = false;
-        end_boost(t);  // rollback done: shed any transient victim boost
         ++budget_used;
-        ++stats_.rollbacks_completed;
-        after_rollback_backoff(t, budget_used, e.deadlock_victim());
+        finish_rollback(e, budget_used);
       } catch (...) {
         // An ordinary (user) exception: Java semantics release the monitor
         // on abrupt completion but do NOT undo the section's updates.
@@ -278,6 +287,11 @@ class Engine {
 
   const EngineStats& stats();
   void reset_stats();
+
+  // Folds this engine's stats and every registered monitor's stats into an
+  // obs registry ("engine.*", "monitor.<name>.stats.*") — the consolidated
+  // export surface for EngineStats/MonitorStats (obs/metrics.hpp).
+  void publish_metrics(obs::Registry& reg);
 
   // Monitors currently registered with this engine (for reports/sweeps).
   const std::vector<RevocableMonitor*>& monitors() const { return monitors_; }
@@ -357,12 +371,12 @@ class Engine {
 
   rt::VThread* thread_by_id(std::uint32_t tid);
 
+  // Publishes the transition to the lifecycle hook AND the obs recorder
+  // (out-of-line: the event-kind mapping lives in engine.cpp).  Runs inside
+  // transitions — often inside forbidden regions — so both sinks must obey
+  // the no-alloc/no-yield contract.
   void emit(LifecycleEvent::Kind kind, rt::VThread* t, std::uint64_t frame,
-            RevocableMonitor* m) {
-    if (lifecycle_hook_) [[unlikely]] {
-      lifecycle_hook_(LifecycleEvent{kind, t, frame, m});
-    }
-  }
+            RevocableMonitor* m);
 
   rt::Scheduler& sched_;
   EngineConfig cfg_;
@@ -377,6 +391,7 @@ class Engine {
   std::vector<std::unique_ptr<RevocableMonitor>> owned_monitors_;
   std::uint64_t next_frame_id_ = 1;
   bool analyzing_ = false;  // this engine installed the analyzer
+  bool observing_ = false;  // this engine installed the obs recorder
   std::function<void(const LifecycleEvent&)> lifecycle_hook_;
 
   friend class RevocableMonitor;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/engine.hpp"
+#include "obs/recorder.hpp"
 
 namespace rvk::core {
 
@@ -44,6 +45,7 @@ void RevocableMonitor::acquire() {
     if (!contended) {
       contended = true;
       ++stats_.contended;
+      obs::on_monitor_contend(t, this, name_, blocking_priority(t));
     }
     // §4: the contending side — inversion/deadlock detection; may post a
     // revocation against the owner, or against *us* (deadlock victim).
@@ -55,6 +57,7 @@ void RevocableMonitor::acquire() {
     sched->block_current_on(entry_queue_);
     on_wake(t);
   }
+  obs::on_monitor_acquired(t, this, name_, contended);
   on_acquired(t);
 }
 

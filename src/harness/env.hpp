@@ -10,6 +10,19 @@
 //                     iteration counts scale with the same factor vs paper.
 //   RVK_SEED=<n>      base RNG seed.
 //   RVK_CSV=<dir>     also write <dir>/<figure-id>.csv.
+//
+// Observability knobs (read directly by obs::Recorder, not by apply_env —
+// see src/obs/recorder.hpp and DESIGN.md §10):
+//
+//   RVK_OBS=1         record the whole sweep: metrics accumulate across
+//                     repetitions, the event trace keeps the last one, and
+//                     obs_<figure-id>_metrics.json plus
+//                     obs_<figure-id>_trace.json are written at the end.
+//   RVK_OBS_METRICS=<file>  metrics output path override (implies RVK_OBS).
+//   RVK_OBS_TRACE=<file>    Chrome/Perfetto trace path override (implies
+//                           RVK_OBS).
+//   RVK_OBS_RING=<n>  per-thread event-ring capacity (default 4096,
+//                     rounded up to a power of two; drop-oldest overflow).
 #pragma once
 
 #include <string>

@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "heap/heap.hpp"
 #include "monitor/monitor.hpp"
+#include "obs/recorder.hpp"
 
 namespace rvk::harness {
 
@@ -30,6 +31,10 @@ WorkloadResult run_workload(VmKind vm, const WorkloadParams& p) {
   rt::SchedulerConfig scfg;
   scfg.quantum = p.scheduler_quantum;
   rt::Scheduler sched(scfg);
+  // Fresh scheduler ⇒ thread ids and the virtual clock restart; tell an
+  // active recorder so its per-thread rings do too (metrics keep
+  // accumulating — DESIGN.md §10).
+  obs::on_run_begin();
 
   std::optional<core::Engine> engine;
   core::RevocableMonitor* rmon = nullptr;
@@ -152,6 +157,16 @@ WorkloadResult run_workload(VmKind vm, const WorkloadParams& p) {
     r.overall_elapsed_ticks = all_t1 - all_t0;
   }
   if (engine.has_value()) r.engine = engine->stats();
+  if (obs::Recorder* rec = obs::Recorder::active()) {
+    // Publish the legacy stats structs into the unified registry (they stay
+    // the storage; the registry is the export surface — obs/metrics.hpp).
+    if (engine.has_value()) {
+      engine->publish_metrics(rec->registry());
+    } else {
+      obs::publish(rec->registry(), bmon->stats(),
+                   "monitor." + bmon->name() + ".stats.");
+    }
+  }
   r.sections_executed = sections_executed;
   r.checksum = checksum;
   return r;

@@ -2,6 +2,10 @@
 
 namespace rvk::log {
 
+namespace detail {
+void (*g_log_obs_hook)(LogEventKind, std::uint64_t) = nullptr;
+}  // namespace detail
+
 void UndoLog::next_chunk() {
   note_high_water();
   if (chunk_begin_ != nullptr) {
@@ -9,6 +13,7 @@ void UndoLog::next_chunk() {
   }
   if (active_ == chunks_.size()) {
     chunks_.push_back(std::make_unique<Entry[]>(kChunkEntries));
+    log_obs_event(LogEventKind::kChunkGrow, capacity());
   }
   chunk_begin_ = chunks_[active_].get();
   chunk_end_ = chunk_begin_ + kChunkEntries;
@@ -50,12 +55,15 @@ void UndoLog::rollback_to(std::size_t mark) {
   }
   set_position(mark);
   ++stats_.rollbacks;
+  log_obs_event(LogEventKind::kRollback, n - mark);
 }
 
 void UndoLog::discard_all() {
   note_high_water();
+  const std::size_t n = size();
   set_position(0);
   ++stats_.commits;
+  log_obs_event(LogEventKind::kCommitDiscard, n);
 }
 
 std::size_t UndoLog::count_kind(EntryKind kind, std::size_t from) const {

@@ -54,6 +54,34 @@ struct Entry {
   EntryKind kind;
 };
 
+// Cold-path log events surfaced to the observability layer (obs/).  The
+// dependency points upward — obs/ links this library and installs the hook;
+// log/ knows nothing about obs/ — mirroring how rt/ exposes its switch
+// probe to analysis/.  The hook fires only on cold paths (rollback replay,
+// commit discard, chunk growth), never on the record() fast path, and the
+// installed handler must honour the forbidden-region contract: rollback and
+// discard run inside commit/abort paths, so it must not allocate, yield, or
+// block (CLAUDE.md).
+enum class LogEventKind : std::uint8_t {
+  kRollback,       // arg = entries replayed
+  kCommitDiscard,  // arg = entries discarded by the outermost commit
+  kChunkGrow,      // arg = total entry capacity after growth
+};
+
+namespace detail {
+extern void (*g_log_obs_hook)(LogEventKind, std::uint64_t);
+}  // namespace detail
+
+inline void set_log_obs_hook(void (*hook)(LogEventKind, std::uint64_t)) {
+  detail::g_log_obs_hook = hook;
+}
+
+inline void log_obs_event(LogEventKind kind, std::uint64_t arg) {
+  if (detail::g_log_obs_hook != nullptr) [[unlikely]] {
+    detail::g_log_obs_hook(kind, arg);
+  }
+}
+
 // Statistics a log keeps about its own traffic; consumed by tests and by the
 // micro-overhead benchmarks.
 struct LogStats {

@@ -1,5 +1,7 @@
 #include "monitor/monitor.hpp"
 
+#include "obs/recorder.hpp"
+
 namespace rvk::monitor {
 
 void MonitorBase::acquire() {
@@ -16,12 +18,24 @@ void MonitorBase::acquire() {
     if (!contended) {
       contended = true;
       ++stats_.contended;
+      obs::on_monitor_contend(t, this, name_, blocking_priority(t));
     }
     on_block(t);
     sched->block_current_on(entry_queue_);
     on_wake(t);
   }
+  obs::on_monitor_acquired(t, this, name_, contended);
   on_acquired(t);
+}
+
+int MonitorBase::blocking_priority(const rt::VThread* t) const {
+  // The priority standing between `t` and the monitor: the deposited owner
+  // priority (§4 — the value the revocation engine compares against), or a
+  // blocking reservation's priority, or — neither, a transient state — the
+  // waiter's own (no inversion can be read from that).
+  if (owner_ != nullptr) return owner_priority_;
+  if (reserved_ != nullptr) return reserved_->priority();
+  return t->priority();
 }
 
 bool MonitorBase::try_take(rt::VThread* t) {
@@ -29,6 +43,7 @@ bool MonitorBase::try_take(rt::VThread* t) {
   if (reserved_ != nullptr && reserved_ != t) {
     if (t->priority() <= reserved_->priority()) return false;
     ++stats_.steals;  // strictly higher priority displaces the reservation
+    obs::on_monitor_barge(t, this, name_);
   }
   reserved_ = nullptr;
   owner_ = t;
@@ -59,6 +74,9 @@ void MonitorBase::do_release(bool reserve) {
   // harness checks grants never exceed rollback releases (CLAUDE.md: only
   // rollback reserves; ordinary release must allow barging, §4).
   if (reserve && reserved_ != nullptr) ++stats_.reservations;
+  // Still inside the forbidden region: the obs release handler is one of
+  // the forbidden-safe ones (pre-reserved ring slot, no allocation).
+  obs::on_monitor_release(t, this, name_, reserve && reserved_ != nullptr);
 }
 
 void MonitorBase::adopt_owner(rt::VThread* t, int recursion) {

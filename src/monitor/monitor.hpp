@@ -121,6 +121,11 @@ class MonitorBase {
   // Shared body of release()/release_reserving().
   void do_release(bool reserve);
 
+  // Priority standing between waiter `t` and this monitor (deposited owner
+  // priority, else a blocking reservation's, else t's own) — what the obs
+  // layer compares against to spot an inversion forming.
+  int blocking_priority(const rt::VThread* t) const;
+
   // Subclass hooks (priority protocols, revocation engine).
   virtual void on_block(rt::VThread* t);      // about to park on entry queue
   virtual void on_wake(rt::VThread* t);       // returned from parking

@@ -1,0 +1,309 @@
+// The observability recorder: install point, per-thread rings, derived
+// latency metrics (DESIGN.md §10).
+//
+// One Recorder may be installed per process at a time (mirroring the
+// one-Engine invariant).  Instrumentation sites across rt/, monitor/, core/
+// and log/ call the inline on_*() dispatchers below; when no recorder is
+// installed they cost a single predicted-not-taken null test — the same
+// zero-cost-off discipline as the revocation-safety analyzer.  The yield
+// point itself carries NO obs hook: per-thread activity is reconstructed
+// from dispatch/switch events, which is exactly as precise (code between
+// yield points is atomic) and keeps the hottest path untouched.
+//
+// Forbidden-region contract (CLAUDE.md): handlers reachable from
+// commit/abort or monitor release paths — release, engine lifecycle, undo
+// replay — only store into pre-reserved ring slots, bump pre-created
+// registry counters, and record into pre-sized histograms.  They never
+// allocate.  Handlers that MAY allocate (spawn, contend, acquire: they
+// register rings and per-monitor profiles) run only on paths that may
+// already block, and each one first checks the forbidden-region depth and
+// reports through the analyzer's breach hook — the obs extension of the
+// forbidden-region lint.
+//
+// Derived metrics, stamped on the recording path:
+//  * monitor.contention_wait_{ticks,ns}  — contend → acquire, any waiter;
+//  * inversion.resolution_{ticks,ns}     — contend → acquire for waiters
+//    that outrank the deposited owner priority: the paper's headline
+//    quantity, time from a high-priority thread blocking on an inverted
+//    monitor to it holding that monitor (§4);
+//  * rollback.latency_{ticks,ns}         — revocation request → the victim
+//    restarting its section (kSectionRetry);
+//  * rollback.bytes_undone               — per rollback, undo-log entries
+//    replayed × 8 bytes/word (§3.1.2).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/metrics.hpp"
+#include "obs/ring.hpp"
+#include "rt/scheduler.hpp"
+#include "rt/vthread.hpp"
+
+namespace rvk::obs {
+
+struct RecorderConfig {
+  // Per-thread ring capacity (rounded up to a power of two); overridable
+  // with RVK_OBS_RING.
+  std::size_t ring_capacity = EventRing::kDefaultCapacity;
+};
+
+// Per-monitor contention profile, keyed by monitor *name* so profiles
+// accumulate across the harness's per-repetition monitor objects.
+struct MonitorProfile {
+  std::uint64_t acquires = 0;   // non-recursive acquisitions
+  std::uint64_t contended = 0;  // acquisitions that blocked at least once
+  std::uint64_t releases = 0;   // full releases
+  std::uint64_t reserving_releases = 0;  // rollback releases (reservations)
+  std::uint64_t barges = 0;     // reservation displacements
+  std::uint64_t wait_ticks = 0; // summed contend→acquire virtual ticks
+};
+
+class Recorder {
+ public:
+  // Installs a fresh recorder; must not already be installed.
+  static Recorder* install(RecorderConfig cfg = {});
+
+  // Uninstalls.  If RVK_OBS_METRICS / RVK_OBS_TRACE name files, the final
+  // metrics / trace are exported there first (last recorder wins).  No-op
+  // when not installed.
+  static void uninstall();
+
+  // The installed recorder, or nullptr.
+  static Recorder* active();
+
+  // True when RVK_OBS is set non-zero, or RVK_OBS_TRACE / RVK_OBS_METRICS
+  // name a file (asking for output implies asking for recording).
+  static bool env_enabled();
+
+  // ---- Run boundaries ----
+
+  // Starts a fresh run: clears every ring and per-thread registration so
+  // thread ids and the virtual clock may restart (the harness constructs a
+  // fresh Scheduler per repetition).  Metrics — counters, histograms,
+  // monitor profiles — accumulate across runs; the event trace reflects the
+  // LAST run only.  Called by harness::run_workload; explicit callers
+  // (tests, exploration scenarios) invoke it per schedule.
+  void begin_run();
+
+  // ---- Consumption ----
+
+  Registry& registry() { return registry_; }
+
+  // Per-thread rings (tid → ring) of the current run.
+  const EventRing* ring_of(std::uint32_t tid) const;
+
+  // Merged view of every ring's retained events in global record order.
+  // Within one run the sequence is chronological on both clocks.
+  std::vector<Event> snapshot() const;
+
+  // Events lost to ring overflow, and events observed for threads that were
+  // never registered (spawned before install, or recorded after begin_run
+  // from a stale context).
+  std::uint64_t dropped_events() const;
+  std::uint64_t orphan_events() const { return orphan_events_; }
+
+  const std::map<std::string, MonitorProfile, std::less<>>& profiles() const {
+    return profiles_;
+  }
+
+  // Thread name registered for `tid` in the current run ("" if unknown).
+  std::string_view thread_name(std::uint32_t tid) const;
+
+  // Writes the registry (plus ring/drop/profile summary counters) as
+  // BENCH_*.json-shaped JSON.  `context` pairs are emitted verbatim.
+  // Non-const: folds the per-monitor profiles and ring totals into the
+  // registry before serialising.
+  void export_metrics(
+      std::ostream& os,
+      const std::vector<std::pair<std::string, std::string>>& context);
+
+  // Writes the last run's merged event trace in Chrome trace-event JSON
+  // (chrome://tracing / Perfetto).  See trace_export.hpp.
+  void export_chrome_trace(std::ostream& os) const;
+
+  // ---- Recording handlers (called through the inline dispatchers) ----
+
+  void record_spawn(rt::VThread* t);                       // may allocate
+  void record_dispatch(rt::VThread* t);
+  void record_switch_out(rt::VThread* t, rt::SwitchReason reason);
+  void record_monitor_contend(rt::VThread* t, const void* m,
+                              std::string_view name, int deposited_priority);
+  void record_monitor_acquired(rt::VThread* t, const void* m,
+                               std::string_view name, bool contended);
+  void record_monitor_barge(rt::VThread* t, const void* m,
+                            std::string_view name);
+  void record_monitor_release(rt::VThread* t, const void* m,
+                              std::string_view name,
+                              bool reserving);           // forbidden-safe
+  void record_engine(EventKind kind, rt::VThread* t, std::uint64_t frame,
+                     const void* m, std::uint64_t aux);  // forbidden-safe
+  void record_log_rollback(std::uint64_t words);         // forbidden-safe
+  void record_log_grow(std::uint64_t capacity);
+  void record_log_commit(std::uint64_t words);           // forbidden-safe
+
+  const RecorderConfig& config() const { return cfg_; }
+
+ private:
+  explicit Recorder(RecorderConfig cfg);
+
+  struct ThreadSide {
+    EventRing ring;
+    rt::VThread* thread = nullptr;  // valid while its scheduler is alive
+    std::uint32_t tid = 0;
+    std::string name;
+    int priority = 0;
+    // contend → acquire stamps (monitor.contention_wait_*).
+    bool wait_pending = false;
+    std::uint64_t wait_wall = 0, wait_vclock = 0;
+    // Inverted contend → acquire stamps (inversion.resolution_*).
+    bool inversion_pending = false;
+    std::uint64_t inv_wall = 0, inv_vclock = 0;
+    // Revocation request → section retry stamps (rollback.latency_*).
+    bool rollback_pending = false;
+    std::uint64_t rb_wall = 0, rb_vclock = 0;
+
+    explicit ThreadSide(std::size_t ring_capacity) : ring(ring_capacity) {}
+  };
+
+  std::uint64_t wall_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  static std::uint64_t vclock_of(rt::VThread* t) {
+    // Scheduler::now() is inline member access; no out-of-line rt symbol is
+    // referenced, keeping the library graph acyclic (obs below rt).
+    return t != nullptr && t->scheduler() != nullptr ? t->scheduler()->now()
+                                                     : 0;
+  }
+
+  // Find-only; nullptr (plus an orphan count) when `t` was never
+  // registered.  Safe in forbidden regions.
+  ThreadSide* side_of(rt::VThread* t);
+
+  // Find-or-register.  Allocates on first sight of `t` — only legal from
+  // the allocation-capable handlers.
+  ThreadSide& ensure_side(rt::VThread* t);
+
+  // Find-or-create a monitor profile by name.  May allocate.
+  MonitorProfile& profile_of(std::string_view name);
+
+  void push(ThreadSide& side, rt::VThread* t, EventKind kind, std::uint64_t a,
+            std::uint64_t b);
+
+  // Forbidden-region lint for the allocation-capable handlers: reports
+  // through the analyzer's breach hook when called with a nonzero
+  // forbidden-region depth (see set_breach_hook below).
+  void check_not_forbidden(rt::VThread* t, const char* what);
+
+  RecorderConfig cfg_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint64_t seq_ = 0;
+
+  std::unordered_map<std::uint32_t, std::unique_ptr<ThreadSide>> threads_;
+  ThreadSide* current_side_ = nullptr;  // side of the running thread
+  std::map<std::string, MonitorProfile, std::less<>> profiles_;
+  std::uint64_t orphan_events_ = 0;
+  std::uint64_t dropped_before_run_ = 0;  // drops in rings begin_run() cleared
+  std::uint64_t threads_observed_ = 0;    // registrations across all runs
+
+  Registry registry_;
+  // Pre-created histogram/counter references for the forbidden-safe paths.
+  Histogram* contention_wait_ticks_;
+  Histogram* contention_wait_ns_;
+  Histogram* inversion_ticks_;
+  Histogram* inversion_ns_;
+  Histogram* rollback_ticks_;
+  Histogram* rollback_ns_;
+  Histogram* rollback_bytes_;
+  std::uint64_t* log_rollbacks_;
+  std::uint64_t* log_chunk_grows_;
+  std::uint64_t* log_commit_discards_;
+};
+
+namespace detail {
+extern Recorder* g_recorder;
+// Analyzer breach hook: fired when an allocation-capable obs handler runs
+// inside a forbidden region (only meaningful while region marking is on).
+extern void (*g_breach_hook)(rt::VThread*, const char*);
+}  // namespace detail
+
+// Installs the forbidden-obs-hook breach reporter (analysis/ owns this,
+// pairing it with Analyzer install/uninstall); nullptr to uninstall.
+void set_breach_hook(void (*hook)(rt::VThread*, const char*));
+
+inline bool recording() { return detail::g_recorder != nullptr; }
+
+// ---- Instrumentation dispatchers (null-checked, [[unlikely]] taken) ----
+
+inline void on_spawn(rt::VThread* t) {
+  if (detail::g_recorder != nullptr) [[unlikely]] {
+    detail::g_recorder->record_spawn(t);
+  }
+}
+
+inline void on_dispatch(rt::VThread* t) {
+  if (detail::g_recorder != nullptr) [[unlikely]] {
+    detail::g_recorder->record_dispatch(t);
+  }
+}
+
+inline void on_switch_out(rt::VThread* t, rt::SwitchReason reason) {
+  if (detail::g_recorder != nullptr) [[unlikely]] {
+    detail::g_recorder->record_switch_out(t, reason);
+  }
+}
+
+inline void on_monitor_contend(rt::VThread* t, const void* m,
+                               std::string_view name, int deposited_priority) {
+  if (detail::g_recorder != nullptr) [[unlikely]] {
+    detail::g_recorder->record_monitor_contend(t, m, name, deposited_priority);
+  }
+}
+
+inline void on_monitor_acquired(rt::VThread* t, const void* m,
+                                std::string_view name, bool contended) {
+  if (detail::g_recorder != nullptr) [[unlikely]] {
+    detail::g_recorder->record_monitor_acquired(t, m, name, contended);
+  }
+}
+
+inline void on_monitor_barge(rt::VThread* t, const void* m,
+                             std::string_view name) {
+  if (detail::g_recorder != nullptr) [[unlikely]] {
+    detail::g_recorder->record_monitor_barge(t, m, name);
+  }
+}
+
+inline void on_monitor_release(rt::VThread* t, const void* m,
+                               std::string_view name, bool reserving) {
+  if (detail::g_recorder != nullptr) [[unlikely]] {
+    detail::g_recorder->record_monitor_release(t, m, name, reserving);
+  }
+}
+
+inline void on_engine(EventKind kind, rt::VThread* t, std::uint64_t frame,
+                      const void* m, std::uint64_t aux = 0) {
+  if (detail::g_recorder != nullptr) [[unlikely]] {
+    detail::g_recorder->record_engine(kind, t, frame, m, aux);
+  }
+}
+
+inline void on_run_begin() {
+  if (detail::g_recorder != nullptr) [[unlikely]] {
+    detail::g_recorder->begin_run();
+  }
+}
+
+}  // namespace rvk::obs

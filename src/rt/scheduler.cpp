@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/recorder.hpp"
+
 // AddressSanitizer needs to be told about stack switches or its unwinding
 // machinery (e.g. __asan_handle_no_return during exception propagation on a
 // fiber stack) reports wild stack-buffer overflows — the classic
@@ -120,6 +122,7 @@ VThread* Scheduler::spawn(std::string name, int priority,
   threads_.push_back(std::move(thread));
   ready_.push(t);
   ++live_count_;
+  obs::on_spawn(t);
   return t;
 }
 
@@ -154,6 +157,7 @@ void Scheduler::dispatch(VThread* t) {
   ++t->stats_.dispatches;
   ++dispatches_;
   current_ = t;
+  obs::on_dispatch(t);
 #ifdef RVK_ASAN_FIBERS
   __sanitizer_start_switch_fiber(&asan_fake_stack_, t->stack_->base(),
                                  t->stack_->size());
@@ -164,6 +168,7 @@ void Scheduler::dispatch(VThread* t) {
   __sanitizer_finish_switch_fiber(asan_fake_stack_, nullptr, nullptr);
 #endif
   current_ = nullptr;
+  obs::on_switch_out(t, last_reason_);
 
   switch (last_reason_) {
     case SwitchReason::kYield:

@@ -1,0 +1,153 @@
+// Minimal JSON well-formedness checker for the obs tests.
+//
+// The exporters hand-serialize (no JSON library in the image), so the tests
+// need an independent reader to prove the output actually parses: a strict
+// recursive-descent scan of the RFC 8259 grammar (objects, arrays, strings
+// with escapes, numbers, literals).  Validation only — it builds no DOM.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+namespace rvk::obs::testjson {
+
+class Checker {
+ public:
+  explicit Checker(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool eof() const { return pos_ >= s_.size(); }
+  char peek() const { return s_[pos_]; }
+  bool eat(char c) {
+    if (eof() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool value() {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default:  return number();
+    }
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!eat(*p)) return false;
+    }
+    return true;
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (!eof()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        if (eof()) return false;
+        const char e = s_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || std::isxdigit(static_cast<unsigned char>(s_[pos_])) == 0) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    eat('-');
+    if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+      return false;
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        return false;
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        ++pos_;
+      }
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        return false;
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+inline bool valid_json(std::string_view s) { return Checker(s).valid(); }
+
+}  // namespace rvk::obs::testjson

@@ -1,0 +1,72 @@
+// EventRing: capacity rounding, drop-oldest overflow, drop accounting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/ring.hpp"
+
+namespace rvk::obs {
+namespace {
+
+Event event_with_seq(std::uint64_t seq) {
+  Event e;
+  e.seq = seq;
+  e.vclock = seq * 10;
+  return e;
+}
+
+std::vector<std::uint64_t> retained_seqs(const EventRing& r) {
+  std::vector<std::uint64_t> out;
+  r.for_each([&](const Event& e) { out.push_back(e.seq); });
+  return out;
+}
+
+TEST(EventRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(EventRing(5).capacity(), 8u);
+  EXPECT_EQ(EventRing(8).capacity(), 8u);
+  EXPECT_EQ(EventRing(1).capacity(), 2u);  // floor: at least two slots
+  EXPECT_EQ(EventRing(0).capacity(), 2u);
+  EXPECT_EQ(EventRing().capacity(), EventRing::kDefaultCapacity);
+}
+
+TEST(EventRingTest, RetainsEverythingUnderCapacity) {
+  EventRing r(4);
+  for (std::uint64_t i = 0; i < 3; ++i) r.push(event_with_seq(i));
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.pushed(), 3u);
+  EXPECT_EQ(r.dropped(), 0u);
+  EXPECT_EQ(retained_seqs(r), (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(EventRingTest, OverflowDropsOldestAndCounts) {
+  EventRing r(4);
+  for (std::uint64_t i = 0; i < 10; ++i) r.push(event_with_seq(i));
+  // Drop-oldest: the newest four records survive, the six oldest are
+  // counted as lost — truncation is visible, never silent.
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.pushed(), 10u);
+  EXPECT_EQ(r.dropped(), 6u);
+  EXPECT_EQ(retained_seqs(r), (std::vector<std::uint64_t>{6, 7, 8, 9}));
+}
+
+TEST(EventRingTest, ForEachVisitsOldestFirstAcrossWrap) {
+  EventRing r(2);
+  for (std::uint64_t i = 0; i < 5; ++i) r.push(event_with_seq(i));
+  EXPECT_EQ(retained_seqs(r), (std::vector<std::uint64_t>{3, 4}));
+}
+
+TEST(EventRingTest, ClearResetsContentsAndCounters) {
+  EventRing r(2);
+  for (std::uint64_t i = 0; i < 5; ++i) r.push(event_with_seq(i));
+  r.clear();
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.pushed(), 0u);
+  EXPECT_EQ(r.dropped(), 0u);
+  r.push(event_with_seq(42));
+  EXPECT_EQ(retained_seqs(r), (std::vector<std::uint64_t>{42}));
+}
+
+}  // namespace
+}  // namespace rvk::obs
