@@ -55,7 +55,7 @@ struct FrameEvent {
   // innermost frame just pinned, or the delivery's target frame.
   std::uint64_t frame_id;
   const core::RevocableMonitor* monitor;  // kEnter/kCommit/kAbort, else null
-  const std::vector<core::Frame>* frames;
+  const core::FrameStack* frames;
 };
 
 namespace detail {
@@ -112,7 +112,7 @@ class Analyzer {
   // Latest-known frame stack per thread id, refreshed by every FrameEvent.
   // Held-monitor sets for the lockset are derived from it; threads with no
   // engine activity yet hold nothing.
-  std::unordered_map<std::uint32_t, const std::vector<core::Frame>*> frames_of_;
+  std::unordered_map<std::uint32_t, const core::FrameStack*> frames_of_;
   std::vector<const void*> held_;  // scratch, reused across accesses
   // Frames already reported for a closure breach (frame events repeat while
   // the breach persists; one report per frame is enough).

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "analysis/hooks.hpp"
 #include "heap/heap.hpp"
@@ -23,6 +24,15 @@ Engine::Engine(rt::Scheduler& sched, EngineConfig cfg)
   RVK_CHECK_MSG(g_active_engine == nullptr,
                 "another Engine is already active");
   g_active_engine = this;
+
+  // RVK_BIAS=0 is the escape hatch reproducing pre-bias behaviour (figures
+  // cross-check; DESIGN.md §11).  Resolved here, before any monitor latches
+  // the flag.  Trace mode records per-acquire events the lazy fast path
+  // would skip, so it keeps the engine path (monitor bias stays on).
+  const char* bias_env = std::getenv("RVK_BIAS");
+  if (bias_env != nullptr && bias_env[0] == '0') cfg_.bias = false;
+  bias_enabled_ = cfg_.bias && !cfg_.trace;
+  rt::set_lazy_frame_hook(&Engine::lazy_frame_trampoline);
 
   sched_.set_revocation_deliverer([this](rt::VThread* t) { deliver(t); });
   sched_.set_stall_hook([this]() { return on_stall(); });
@@ -64,6 +74,13 @@ Engine::Engine(rt::Scheduler& sched, EngineConfig cfg)
 Engine::~Engine() {
   if (observing_) obs::Recorder::uninstall();
   if (analyzing_) analysis::Analyzer::uninstall();
+  rt::set_lazy_frame_hook(nullptr);
+  // Unstamp the per-thread caches: a later engine must re-register every
+  // thread, and no stale ThreadSync pointer may survive this engine.
+  for (auto& [t, ts] : sync_states_) {
+    t->engine_state = nullptr;
+    t->lazy_frame = false;
+  }
   heap::set_alloc_hook(nullptr);
   heap::set_tracked_read_hook(nullptr);
   heap::set_volatile_write_hook(nullptr);
@@ -90,6 +107,12 @@ RevocableMonitor* Engine::monitor_of(const heap::HeapObject* obj) {
 }
 
 ThreadSync& Engine::sync_of(rt::VThread* t) {
+  // The registration stamps engine_state, so the steady state is one load —
+  // no hash lookup on the section hot path.  unordered_map of unique_ptr
+  // keeps ThreadSync addresses stable; the destructor unstamps.
+  if (t->engine_state != nullptr) [[likely]] {
+    return *static_cast<ThreadSync*>(t->engine_state);
+  }
   auto [it, inserted] = sync_states_.try_emplace(t);
   if (inserted) {
     it->second = std::make_unique<ThreadSync>();
@@ -98,6 +121,7 @@ ThreadSync& Engine::sync_of(rt::VThread* t) {
     // in-section path tests per-thread state only (heap::dedup_logging()
     // stays the process-wide source for the analyzer and ablations).
     t->log_dedup = cfg_.dedup_logging;
+    t->engine_state = it->second.get();
   }
   return *it->second;
 }
@@ -115,40 +139,102 @@ const ThreadSync* Engine::find_sync(const rt::VThread* t) const {
 // ---------------------------------------------------------------------------
 // Frame lifecycle
 
+// Lazy-frame hook body: rt calls this from yield points and blocking
+// primitives; engine paths that walk the current thread's frames call
+// materialize_lazy directly.
+void Engine::lazy_frame_trampoline(rt::VThread* t) {
+  if (g_active_engine != nullptr) g_active_engine->materialize_lazy(t);
+}
+
+void Engine::materialize_lazy(rt::VThread* t) {
+  RVK_DCHECK(t->lazy_frame);
+  t->lazy_frame = false;
+  ThreadSync& ts = sync_of(t);
+  Frame& f = ts.frames.push();
+  f.monitor = ts.lazy_monitor;
+  f.id = t->current_frame_id;  // allocated at the lazy grant
+  f.log_mark = ts.lazy_log_mark;
+  f.revocations = ts.lazy_budget_used;
+  // `recursive` stays false: a biased grant never re-enters a held monitor.
+  // No analyzer/obs/trace notifications: all are gated off while the fast
+  // path is eligible (see enter_frame), so none missed the enter.
+}
+
 std::uint64_t Engine::enter_frame(RevocableMonitor& m, rt::VThread* t,
                                   int budget_used) {
+  if (t->lazy_frame) [[unlikely]] materialize_lazy(t);  // nested entry
   t->interrupted = false;
+  // Biased lazy fast path (DESIGN.md §11): eligible only when nothing can
+  // observe a deferred frame — no lifecycle hook (exploration), no analyzer,
+  // no recorder, no pending revocation — and the monitor grants its bias.
+  // Green-thread atomicity keeps the frame invisible until the first yield
+  // point, logged write, nested entry, or blocking call materialises it, at
+  // which point the section is exactly as revocable as a slow-path one.
+  if (bias_enabled_ && !lifecycle_hook_ &&
+      analysis::detail::g_frame_hook == nullptr && !obs::recording() &&
+      !t->revoke_requested && m.bias_fast_acquire(t)) {
+    ThreadSync& ts = sync_of(t);
+    ts.lazy_monitor = &m;
+    ts.lazy_log_mark = t->undo_log.watermark();
+    ts.lazy_budget_used = budget_used;
+    const std::uint64_t id = next_frame_id_++;
+    t->current_frame_id = id;
+    if (++t->sync_depth == 1) rt::enter_section(t);
+    t->lazy_frame = true;
+    ++stats_.sections_entered;
+    return id;
+  }
   m.acquire();  // may throw RollbackException targeting an enclosing frame
   ThreadSync& ts = sync_of(t);
-  Frame f;
+  Frame& f = ts.frames.push();
   f.monitor = &m;
   f.id = next_frame_id_++;
   f.log_mark = t->undo_log.watermark();
   f.recursive = m.recursion() > 1;
   f.revocations = budget_used;
-  ts.frames.push_back(f);
-  ++t->sync_depth;
+  if (++t->sync_depth == 1) rt::enter_section(t);
   t->current_frame_id = f.id;
   ++stats_.sections_entered;
   if (cfg_.trace) jmm::Trace::record_acquire(&m);
   analysis::frame_event(
       {analysis::FrameEvent::Kind::kEnter, t, f.id, &m, &ts.frames});
-  emit(LifecycleEvent::Kind::kSectionEnter, t, f.id, &m);
+  if (lifecycle_hook_ || obs::recording()) [[unlikely]] {
+    emit(LifecycleEvent::Kind::kSectionEnter, t, f.id, &m);
+  }
   return f.id;
 }
 
 void Engine::commit_frame(rt::VThread* t) {
+  ThreadSync& ts = sync_of(t);
+  if (t->lazy_frame) {
+    // Lazy commit (DESIGN.md §11): the frame never materialised, so nothing
+    // observed it — zero undo entries above its watermark, no speculative
+    // allocations, no pin, and no revocation can name it (each of those
+    // paths materialises first).  Reverting to the pre-section state is a
+    // handful of scalar stores plus the bias release.
+    t->lazy_frame = false;
+    RevocableMonitor* m = ts.lazy_monitor;
+    if (--t->sync_depth == 0) {
+      ++t->section_epoch;
+      rt::exit_section();
+      t->current_frame_id = 0;
+    } else {
+      t->current_frame_id = ts.frames.back().id;
+    }
+    m->bias_fast_release(t);
+    ++stats_.sections_committed;
+    return;
+  }
   // Commit is undo-discard + release with no yield point in between (the
   // atomicity §3.1.2 relies on); the guard makes the analyzer's switch
   // probe prove it.  No-op unless the analyzer enabled region marking.
   rt::ForbiddenRegionGuard region(t);
-  ThreadSync& ts = sync_of(t);
   RVK_CHECK_MSG(!ts.frames.empty(), "commit with no active frame");
   analysis::frame_event({analysis::FrameEvent::Kind::kCommit, t,
                          ts.frames.back().id, ts.frames.back().monitor,
                          &ts.frames});
-  Frame f = std::move(ts.frames.back());
-  ts.frames.pop_back();
+  Frame& f = ts.frames.back();
+  ts.frames.pop();  // f stays valid: pooled storage is never destroyed
   if (f.nonrevocable) {
     // Pinned frame leaving the stack; forbidden-safe obs path (§2.2 pins
     // are upward-closed, so unpins happen strictly at frame exit).
@@ -163,7 +249,12 @@ void Engine::commit_frame(rt::VThread* t) {
                          f.allocs.end());
   }
   --t->sync_depth;
-  t->current_frame_id = ts.frames.empty() ? 0 : ts.frames.back().id;
+  if (ts.frames.empty()) {
+    t->current_frame_id = 0;
+    if (t->sync_depth == 0) rt::exit_section();
+  } else {
+    t->current_frame_id = ts.frames.back().id;
+  }
 
   // A revocation that races with completion loses: the section's effects
   // stand and the requester acquires the monitor the ordinary way.
@@ -188,10 +279,16 @@ void Engine::commit_frame(rt::VThread* t) {
   f.monitor->release();
   ++stats_.sections_committed;
   if (cfg_.trace) jmm::Trace::record_release(f.monitor);
-  emit(LifecycleEvent::Kind::kSectionCommit, t, f.id, f.monitor);
+  if (lifecycle_hook_ || obs::recording()) [[unlikely]] {
+    emit(LifecycleEvent::Kind::kSectionCommit, t, f.id, f.monitor);
+  }
 }
 
 void Engine::abort_frame(rt::VThread* t, std::uint64_t expected_frame) {
+  // A lazy frame can only reach here via an explicit section_abort (no
+  // revocation can target it — §11); materialise so the shared unwind below
+  // sees a real frame.
+  if (t->lazy_frame) [[unlikely]] materialize_lazy(t);
   // Same atomicity contract as commit_frame: reverse replay and the
   // reserving release must complete without a switch point (§3.1.2).
   rt::ForbiddenRegionGuard region(t);
@@ -200,9 +297,9 @@ void Engine::abort_frame(rt::VThread* t, std::uint64_t expected_frame) {
   analysis::frame_event({analysis::FrameEvent::Kind::kAbort, t,
                          ts.frames.back().id, ts.frames.back().monitor,
                          &ts.frames});
-  Frame f = std::move(ts.frames.back());
+  Frame& f = ts.frames.back();
   RVK_CHECK_MSG(f.id == expected_frame, "frame stack out of sync with unwind");
-  ts.frames.pop_back();
+  ts.frames.pop();  // f stays valid: pooled storage is never destroyed
   if (f.nonrevocable) {
     obs::on_engine(obs::EventKind::kUnpin, t, f.id, f.monitor);
   }
@@ -223,6 +320,7 @@ void Engine::abort_frame(rt::VThread* t, std::uint64_t expected_frame) {
   if (ts.frames.empty()) {
     if (cfg_.dedup_logging) t->dedup.clear();
     ++t->section_epoch;
+    if (t->sync_depth == 0) rt::exit_section();
   }
 
   // Reclaim this frame's speculative allocations: the undo replay above
@@ -243,7 +341,9 @@ void Engine::abort_frame(rt::VThread* t, std::uint64_t expected_frame) {
     jmm::Trace::record_abort_frame(f.id);
     jmm::Trace::record_release(f.monitor);
   }
-  emit(LifecycleEvent::Kind::kSectionAbort, t, f.id, f.monitor);
+  if (lifecycle_hook_ || obs::recording()) [[unlikely]] {
+    emit(LifecycleEvent::Kind::kSectionAbort, t, f.id, f.monitor);
+  }
 }
 
 void Engine::after_rollback_backoff(rt::VThread* t, int retries,
@@ -442,6 +542,7 @@ void Engine::on_wait_pin(rt::VThread* t) {
   // and a revocation after wait() returns could not re-deliver the consumed
   // notification.  Pin every active frame (§2.2; see DESIGN.md for the
   // nested/non-nested discussion).
+  if (t->lazy_frame) [[unlikely]] materialize_lazy(t);
   ThreadSync& ts = sync_of(t);
   bool pinned = false;
   for (Frame& f : ts.frames) {
@@ -463,6 +564,7 @@ void Engine::on_wait_pin(rt::VThread* t) {
 void Engine::pin_current_frames(PinReason reason) {
   rt::VThread* t = sched_.current_thread();
   if (t == nullptr) return;
+  if (t->lazy_frame) [[unlikely]] materialize_lazy(t);
   ThreadSync& ts = sync_of(t);
   bool pinned = false;
   for (Frame& f : ts.frames) {
@@ -648,6 +750,7 @@ void Engine::alloc_trampoline(heap::Heap* heap, heap::HeapObject* obj) {
 void Engine::on_alloc(heap::Heap* heap, heap::HeapObject* obj) {
   rt::VThread* t = sched_.current_thread();
   if (t == nullptr || t->sync_depth == 0) return;  // not speculative
+  if (t->lazy_frame) [[unlikely]] materialize_lazy(t);
   ThreadSync& ts = sync_of(t);
   ts.frames.back().allocs.emplace_back(heap, obj);
 }

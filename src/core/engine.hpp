@@ -138,6 +138,17 @@ struct EngineConfig {
   // test owns one across engine lifetimes), the engine records through it
   // and leaves its lifetime alone.
   bool observe = false;
+
+  // Biased section entry + lazy frame materialisation (DESIGN.md §11):
+  // RevocableMonitors reserve themselves for their last owner, and the
+  // engine defers frame registration/undo-log arming for a biased grant
+  // until the section's first logged write, yield point, nested entry, or
+  // blocking call — so empty/read-only uncontended sections commit in O(1)
+  // with zero log traffic.  Revocation semantics are unchanged: a section
+  // that reaches a yield point is exactly as revocable as before.  The
+  // RVK_BIAS=0 environment knob (resolved in the constructor) clears this,
+  // reproducing pre-PR-5 behaviour bit-for-bit.
+  bool bias = true;
 };
 
 // Engine-level transition, published through the lifecycle hook so external
@@ -336,6 +347,12 @@ class Engine {
                             int budget_used);
   void commit_frame(rt::VThread* t);
   void abort_frame(rt::VThread* t, std::uint64_t expected_frame);
+
+  // Turns the lazy registers in ThreadSync into a real, revocable Frame
+  // (DESIGN.md §11).  Installed as rt's lazy-frame hook; also called
+  // directly from every engine path that walks the current thread's frames.
+  void materialize_lazy(rt::VThread* t);
+  static void lazy_frame_trampoline(rt::VThread* t);
   void after_rollback_backoff(rt::VThread* t, int retries,
                               bool deadlock_victim);
   void begin_boost(rt::VThread* victim, int boost_to);
@@ -392,6 +409,9 @@ class Engine {
   std::uint64_t next_frame_id_ = 1;
   bool analyzing_ = false;  // this engine installed the analyzer
   bool observing_ = false;  // this engine installed the obs recorder
+  // cfg_.bias && !cfg_.trace, latched once: the enter_frame fast-path gate
+  // (trace mode records per-acquire events the lazy path would skip).
+  bool bias_enabled_ = false;
   std::function<void(const LifecycleEvent&)> lifecycle_hook_;
 
   friend class RevocableMonitor;

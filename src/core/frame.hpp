@@ -52,13 +52,62 @@ struct Frame {
   std::vector<std::pair<heap::Heap*, heap::HeapObject*>> allocs;
 };
 
+// Pooled frame stack (DESIGN.md §11).  pop() only lowers the depth; the
+// Frame object — in particular its `allocs` vector's capacity — stays in
+// place and is recycled by the next push(), so steady-state section entry
+// allocates nothing.  Iteration order is outermost-first, matching the
+// std::vector<Frame> this replaces.
+class FrameStack {
+ public:
+  // Returns a reset frame at the new top.  References are invalidated like
+  // vector push_back's (the backing store may grow).
+  Frame& push() {
+    if (depth_ == store_.size()) store_.emplace_back();
+    Frame& f = store_[depth_++];
+    f.monitor = nullptr;
+    f.id = 0;
+    f.log_mark = 0;
+    f.recursive = false;
+    f.nonrevocable = false;
+    f.pin_reason = PinReason::kNone;
+    f.revocations = 0;
+    f.allocs.clear();  // keeps capacity — the pooling point
+    return f;
+  }
+
+  void pop() { --depth_; }
+
+  Frame& back() { return store_[depth_ - 1]; }
+  const Frame& back() const { return store_[depth_ - 1]; }
+  std::size_t size() const { return depth_; }
+  bool empty() const { return depth_ == 0; }
+
+  Frame* begin() { return store_.data(); }
+  Frame* end() { return store_.data() + depth_; }
+  const Frame* begin() const { return store_.data(); }
+  const Frame* end() const { return store_.data() + depth_; }
+
+ private:
+  std::vector<Frame> store_;  // live prefix [0, depth_), pooled tail beyond
+  std::size_t depth_ = 0;
+};
+
 // Per-thread engine state, attached to rt::VThread::engine_state.
 struct ThreadSync {
-  std::vector<Frame> frames;
+  FrameStack frames;
 
   // Pre-boost priority while a revocation request is pending against this
   // thread (EngineConfig::boost_victim); -1 when no boost is active.
   int boost_restore_priority = -1;
+
+  // Lazy-frame registers (DESIGN.md §11): while rt::VThread::lazy_frame is
+  // set, the innermost section exists only here — Engine::materialize_lazy
+  // turns them into a real Frame at the first yield point, logged write,
+  // nested entry, or blocking call.  Green-thread atomicity guarantees no
+  // other thread runs while they are live.
+  RevocableMonitor* lazy_monitor = nullptr;
+  std::size_t lazy_log_mark = 0;
+  int lazy_budget_used = 0;
 
   // Oldest (outermost) active frame guarding `m`, or nullptr.  Revocation
   // targets this frame so the monitor is fully released by the unwind.

@@ -9,6 +9,7 @@ namespace rvk::core {
 
 RevocableMonitor::RevocableMonitor(std::string name, Engine& engine)
     : monitor::MonitorBase(std::move(name)), engine_(engine) {
+  bias_enabled_ = engine.config().bias;  // RVK_BIAS resolved in Engine's ctor
   engine_.monitors_.push_back(this);
 }
 
@@ -25,6 +26,21 @@ void RevocableMonitor::acquire() {
   if (owner_ == t) {
     ++recursion_;
     return;
+  }
+  // Biased entry (DESIGN.md §11).  A second thread arriving revokes the
+  // bias; the biased thread finding the monitor free re-earns its grant.
+  // The grant predicate is the exact slow-path condition under which the
+  // loop below takes the monitor on its first try_take — and matches
+  // bias_fast_acquire — so bias counters are identical whether the engine's
+  // lazy fast path is active or disabled (analyzer/explorer/recorder runs).
+  if (bias_ != nullptr) [[likely]] {
+    if (bias_ != t) {
+      bias_ = nullptr;
+      ++stats_.bias_revocations;
+    } else if (owner_ == nullptr && reserved_ == nullptr &&
+               !t->revoke_requested) {
+      ++stats_.bias_grants;
+    }
   }
   bool contended = false;
   for (;;) {
@@ -45,7 +61,11 @@ void RevocableMonitor::acquire() {
     if (!contended) {
       contended = true;
       ++stats_.contended;
-      obs::on_monitor_contend(t, this, name_, blocking_priority(t));
+      // blocking_priority() walks reservation state; only pay for it when a
+      // recorder is live (zero-cost-when-off contract, DESIGN.md §10).
+      if (obs::recording()) [[unlikely]] {
+        obs::on_monitor_contend(t, this, name_, blocking_priority(t));
+      }
     }
     // §4: the contending side — inversion/deadlock detection; may post a
     // revocation against the owner, or against *us* (deadlock victim).
@@ -69,7 +89,11 @@ void RevocableMonitor::on_wake(rt::VThread* t) {
   engine_.on_unblocked(t, *this);
 }
 
-void RevocableMonitor::on_acquired(rt::VThread*) {}
+void RevocableMonitor::on_acquired(rt::VThread* t) {
+  // Every non-recursive acquisition (including adopt_owner and post-
+  // contention wakeups) re-establishes the bias towards the new owner.
+  if (bias_enabled_) bias_ = t;
+}
 
 void RevocableMonitor::on_released(rt::VThread*) {}
 

@@ -37,6 +37,41 @@ class RevocableMonitor : public monitor::MonitorBase {
 
   Engine& engine() const { return engine_; }
 
+  // Thread the monitor is biased towards (DESIGN.md §11): the last owner,
+  // expected to re-acquire without contention.  Comparison-only — never
+  // dereferenced — so a stale pointer to a finished thread is harmless (a
+  // recycled address hitting the bias is semantically identical to an
+  // ordinary acquire of a free, unreserved monitor).
+  rt::VThread* biased_to() const { return bias_; }
+
+  // ---- Engine-only biased fast path (DESIGN.md §11) ----
+  // Non-virtual acquire twin used by Engine::enter_frame's lazy fast path.
+  // Succeeds only in the exact situation where acquire()'s loop would take
+  // the monitor on its first try_take with no bookkeeping: biased to t,
+  // free, unreserved.  Deposits t's priority per §4 so background inversion
+  // sweeps see the same header an ordinary acquire would leave.
+  bool bias_fast_acquire(rt::VThread* t) {
+    if (bias_ != t || owner_ != nullptr || reserved_ != nullptr) return false;
+    ++stats_.acquires;
+    ++stats_.bias_grants;
+    owner_ = t;
+    recursion_ = 1;
+    owner_priority_ = t->priority();
+    return true;
+  }
+
+  // Release twin for a frame that never reached a yield point: green-thread
+  // atomicity guarantees no waiter arrived (the entry queue is untouched
+  // since the grant), so there is nothing to hand off.  The bias keeps
+  // pointing at t — that is the point.
+  void bias_fast_release([[maybe_unused]] rt::VThread* t) {
+    RVK_DCHECK(owner_ == t && recursion_ == 1);
+    RVK_DCHECK(entry_queue_.empty());
+    owner_ = nullptr;
+    recursion_ = 0;
+    owner_priority_ = 0;
+  }
+
  protected:
   void on_block(rt::VThread* t) override;      // waits-for edge for deadlock
   void on_wake(rt::VThread* t) override;
@@ -46,6 +81,8 @@ class RevocableMonitor : public monitor::MonitorBase {
 
  private:
   Engine& engine_;
+  rt::VThread* bias_ = nullptr;  // comparison-only; see biased_to()
+  bool bias_enabled_ = false;    // EngineConfig::bias, latched at construction
 };
 
 }  // namespace rvk::core

@@ -119,16 +119,23 @@ void set_volatile_write_hook(void (*hook)(const void*));
 
 // The write barrier.  `addr` is the slot being stored to; `base`/`offset`
 // identify it in paper terms (reference + offset).  The fast path is the
-// paper's single test (§1.1); the common in-section store is one predicted
-// branch plus the log's bump-pointer append — the dedup-enabled test reads
-// per-thread state (VThread::log_dedup, stamped by the engine) rather than a
-// process global, so no extra cache line is touched on the hot path.
+// paper's single test (§1.1), here one TLS load plus a null compare:
+// rt::section_vthread() caches "the running thread, iff it is inside a
+// synchronized section" (maintained at section entry/exit and across fiber
+// switches), so out-of-section stores touch no VThread state at all.  The
+// common in-section store is one predicted branch plus the log's
+// bump-pointer append — the dedup-enabled test reads per-thread state
+// (VThread::log_dedup, stamped by the engine) rather than a process global,
+// so no extra cache line is touched on the hot path.
 inline void write_barrier(log::EntryKind kind, ObjectMeta& meta, Word* addr,
                           const void* base, std::uint32_t offset) {
-  rt::VThread* t = rt::current_vthread();
-  if (t == nullptr || t->sync_depth == 0) [[likely]] {
+  rt::VThread* t = rt::section_vthread();
+  if (t == nullptr) [[likely]] {
     return;  // fast path: not in a section
   }
+  // First logged store of a biased section: give it a real frame before the
+  // log grows past its watermark (DESIGN.md §11).
+  if (t->lazy_frame) [[unlikely]] rt::materialize_lazy_frame(t);
   if (!t->log_dedup || t->dedup.should_log(addr, t->current_frame_id)) {
     t->undo_log.record(kind, addr, *addr, base, offset);
   }

@@ -1,10 +1,63 @@
 #include "log/undo_log.hpp"
 
+#include <utility>
+
 namespace rvk::log {
 
 namespace detail {
 void (*g_log_obs_hook)(LogEventKind, std::uint64_t) = nullptr;
+
+namespace {
+
+// Per-OS-thread free list of retired chunks (DESIGN.md §11).  Every green
+// thread of a scheduler shares its host thread's pool, so a section that
+// overflows into a second chunk hands it to the next section — on any
+// vthread — instead of back to the allocator.  Bounded: a burst beyond
+// kMaxPooled chunks is simply freed.
+//
+// `alive` goes false in the destructor; UndoLogs destroyed later during
+// static/thread teardown then bypass the (already-destroyed) slots and free
+// their chunks directly.
+struct ChunkPool {
+  static constexpr std::size_t kMaxPooled = 16;
+  std::unique_ptr<Entry[]> slots[kMaxPooled];
+  std::size_t count = 0;
+  bool alive = true;
+  ~ChunkPool() {
+    alive = false;
+    count = 0;
+  }
+};
+
+ChunkPool& pool() {
+  static thread_local ChunkPool p;
+  return p;
+}
+
+std::unique_ptr<Entry[]> pool_take() {
+  ChunkPool& p = pool();
+  if (!p.alive || p.count == 0) return nullptr;
+  return std::move(p.slots[--p.count]);
+}
+
+void pool_release(std::unique_ptr<Entry[]> chunk) {
+  ChunkPool& p = pool();
+  if (!p.alive || p.count == ChunkPool::kMaxPooled) return;  // chunk freed
+  p.slots[p.count++] = std::move(chunk);
+}
+
+}  // namespace
+
+std::size_t pooled_chunk_count() {
+  ChunkPool& p = pool();
+  return p.alive ? p.count : 0;
+}
+
 }  // namespace detail
+
+UndoLog::~UndoLog() {
+  for (auto& chunk : chunks_) detail::pool_release(std::move(chunk));
+}
 
 void UndoLog::next_chunk() {
   note_high_water();
@@ -12,7 +65,9 @@ void UndoLog::next_chunk() {
     ++active_;  // first append into a fresh log keeps active_ == 0
   }
   if (active_ == chunks_.size()) {
-    chunks_.push_back(std::make_unique<Entry[]>(kChunkEntries));
+    std::unique_ptr<Entry[]> chunk = detail::pool_take();
+    if (chunk == nullptr) chunk = std::make_unique<Entry[]>(kChunkEntries);
+    chunks_.push_back(std::move(chunk));
     log_obs_event(LogEventKind::kChunkGrow, capacity());
   }
   chunk_begin_ = chunks_[active_].get();
@@ -32,6 +87,17 @@ void UndoLog::set_position(std::size_t n) {
   chunk_begin_ = chunks_[active_].get();
   chunk_end_ = chunk_begin_ + kChunkEntries;
   cursor_ = chunk_begin_ + (n - (active_ << kChunkShift));
+}
+
+void UndoLog::release_retired_chunks() {
+  // No live entry sits above the active chunk after a truncation, so
+  // everything past it is pool fodder.  Non-allocating (unique_ptr moves
+  // into fixed slots; overflow frees), so safe inside the engine's
+  // forbidden-region commit/abort paths.
+  while (chunks_.size() > active_ + 1) {
+    detail::pool_release(std::move(chunks_.back()));
+    chunks_.pop_back();
+  }
 }
 
 void UndoLog::rollback_to(std::size_t mark) {
@@ -54,6 +120,7 @@ void UndoLog::rollback_to(std::size_t mark) {
     }
   }
   set_position(mark);
+  release_retired_chunks();
   ++stats_.rollbacks;
   log_obs_event(LogEventKind::kRollback, n - mark);
 }
@@ -62,6 +129,7 @@ void UndoLog::discard_all() {
   note_high_water();
   const std::size_t n = size();
   set_position(0);
+  release_retired_chunks();
   ++stats_.commits;
   log_obs_event(LogEventKind::kCommitDiscard, n);
 }

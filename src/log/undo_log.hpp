@@ -16,11 +16,16 @@
 // frame commits, at which point the whole log is discarded.
 //
 // Storage is a chunked-segment arena (DESIGN.md §8): fixed-size entry
-// chunks, allocated on demand and retained across commits.  Growth never
-// copies — an append into a full chunk just opens the next one — so entry
-// addresses are stable for the log's lifetime and the append fast path is a
-// single bump-pointer store.  Reverse replay walks the segments from the
-// cursor down to the watermark.
+// chunks, allocated on demand.  Growth never copies — an append into a full
+// chunk just opens the next one — so entry addresses are stable while the
+// entries are live and the append fast path is a single bump-pointer store.
+// Reverse replay walks the segments from the cursor down to the watermark.
+//
+// Chunks are pooled per OS thread (DESIGN.md §11): commit and rollback park
+// retired chunks — those holding no live entries — on a thread-local free
+// list, and next_chunk() takes from it before touching the allocator.  A
+// steady-state section therefore never mallocs, and a thread that logged one
+// burst does not hold its high-water footprint forever.
 #pragma once
 
 #include <cstddef>
@@ -70,6 +75,9 @@ enum class LogEventKind : std::uint8_t {
 
 namespace detail {
 extern void (*g_log_obs_hook)(LogEventKind, std::uint64_t);
+// Chunks currently parked on the calling OS thread's free list
+// (tests/diagnostics).
+std::size_t pooled_chunk_count();
 }  // namespace detail
 
 inline void set_log_obs_hook(void (*hook)(LogEventKind, std::uint64_t)) {
@@ -102,13 +110,16 @@ class UndoLog {
   static constexpr std::size_t kChunkMask = kChunkEntries - 1;
 
   // `initial_capacity` reserves *pointer* slots for ceil(cap/kChunkEntries)
-  // chunks; the chunks themselves are allocated on first use and then
-  // retained forever (memory is bounded by the high-water mark, and a
-  // steady-state section never allocates).  An idle thread's log therefore
+  // chunks; the chunks themselves come from the per-thread pool (or the
+  // allocator) on first use, and truncation returns retired ones there, so a
+  // steady-state section never allocates.  An idle thread's log therefore
   // costs a few dozen bytes, not a pre-sized buffer.
   explicit UndoLog(std::size_t initial_capacity = 1 << 16) {
     chunks_.reserve((initial_capacity + kChunkEntries - 1) >> kChunkShift);
   }
+
+  // Returns every chunk to the per-thread pool.
+  ~UndoLog();
 
   UndoLog(const UndoLog&) = delete;
   UndoLog& operator=(const UndoLog&) = delete;
@@ -143,7 +154,8 @@ class UndoLog {
   void rollback_to(std::size_t mark);
 
   // Discards every entry: the outermost frame committed, so all speculative
-  // stores are now permanent.  O(1) — chunks are kept for reuse.
+  // stores are now permanent.  Retired chunks (beyond the active one) go
+  // back to the per-thread pool.
   void discard_all();
 
   // Entry addresses are stable across growth (chunks never move), so the
@@ -180,12 +192,16 @@ class UndoLog {
   std::size_t count_kind(EntryKind kind, std::size_t from = 0) const;
 
  private:
-  // Cold path of record(): opens the next chunk (allocating it on first
-  // use) and refreshes the high-water statistic.
+  // Cold path of record(): opens the next chunk (pool, then allocator) and
+  // refreshes the high-water statistic.
   void next_chunk();
 
   // Repositions the cursor at logical index `n` (≤ current size).
   void set_position(std::size_t n);
+
+  // Returns chunks holding no live entries (index > active_) to the pool.
+  // Only called from truncation paths, never from record().
+  void release_retired_chunks();
 
   void note_high_water() {
     const std::uint64_t n = size();

@@ -18,7 +18,11 @@ void MonitorBase::acquire() {
     if (!contended) {
       contended = true;
       ++stats_.contended;
-      obs::on_monitor_contend(t, this, name_, blocking_priority(t));
+      // blocking_priority() is only evaluated when a recorder is live
+      // (zero-cost-when-off contract, DESIGN.md §10).
+      if (obs::recording()) [[unlikely]] {
+        obs::on_monitor_contend(t, this, name_, blocking_priority(t));
+      }
     }
     on_block(t);
     sched->block_current_on(entry_queue_);

@@ -48,6 +48,10 @@ struct MonitorStats {
   std::uint64_t steals = 0;      // reservations displaced by higher priority
   std::uint64_t waits = 0;
   std::uint64_t notifies = 0;
+  // Biased-entry counters (DESIGN.md §11; RevocableMonitor only — always
+  // zero for the baseline monitors).
+  std::uint64_t bias_grants = 0;       // acquires served by the bias predicate
+  std::uint64_t bias_revocations = 0;  // biases cleared by a second thread
 };
 
 class MonitorBase {

@@ -17,8 +17,11 @@
 //
 // ThinLock is a monitor/ substrate feature used by baselines and
 // micro-benchmarks; the revocation engine always uses heavy
-// RevocableMonitors (every synchronized section needs frame bookkeeping
-// regardless of contention, so a thin path would buy nothing there).
+// RevocableMonitors, but since DESIGN.md §11 their uncontended path is
+// thin-lock-shaped too: a repeat acquire by the biased owner skips the
+// queue/priority bookkeeping, and the frame itself stays lazy until the
+// section's first logged write or yield point.  The ThinLock here remains
+// the baseline that path is benchmarked against (bench/micro_uncontended).
 #pragma once
 
 #include <cstdint>

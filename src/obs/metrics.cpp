@@ -139,6 +139,8 @@ void publish(Registry& r, const monitor::MonitorStats& s,
   r.counter(p + "steals") += s.steals;
   r.counter(p + "waits") += s.waits;
   r.counter(p + "notifies") += s.notifies;
+  r.counter(p + "bias_grants") += s.bias_grants;
+  r.counter(p + "bias_revocations") += s.bias_revocations;
 }
 
 void publish(Registry& r, const log::LogStats& s, std::string_view prefix) {

@@ -26,8 +26,10 @@ namespace rvk::rt {
 
 namespace detail {
 thread_local Scheduler* g_current_scheduler = nullptr;
+thread_local VThread* g_section_vthread = nullptr;
 bool g_region_marking = false;
 void (*g_switch_probe)(VThread*, const char*) = nullptr;
+void (*g_lazy_frame_hook)(VThread*) = nullptr;
 }  // namespace detail
 
 void set_region_marking(bool on) { detail::g_region_marking = on; }
@@ -35,6 +37,22 @@ bool region_marking() { return detail::g_region_marking; }
 
 void set_switch_probe(void (*probe)(VThread*, const char*)) {
   detail::g_switch_probe = probe;
+}
+
+VThread* section_vthread() { return detail::g_section_vthread; }
+
+void enter_section(VThread* t) { detail::g_section_vthread = t; }
+
+void exit_section() { detail::g_section_vthread = nullptr; }
+
+void set_lazy_frame_hook(void (*hook)(VThread*)) {
+  detail::g_lazy_frame_hook = hook;
+}
+
+void materialize_lazy_frame(VThread* t) {
+  RVK_DCHECK(t->lazy_frame);
+  if (detail::g_lazy_frame_hook != nullptr) detail::g_lazy_frame_hook(t);
+  RVK_DCHECK(!t->lazy_frame);
 }
 
 void Scheduler::forbidden_switch_point(VThread* t) {
@@ -158,6 +176,9 @@ void Scheduler::dispatch(VThread* t) {
   ++dispatches_;
   current_ = t;
   obs::on_dispatch(t);
+  // Arm the write barrier's in-section cache for the incoming thread (it may
+  // have been switched out mid-section).
+  detail::g_section_vthread = t->sync_depth > 0 ? t : nullptr;
 #ifdef RVK_ASAN_FIBERS
   __sanitizer_start_switch_fiber(&asan_fake_stack_, t->stack_->base(),
                                  t->stack_->size());
@@ -167,6 +188,7 @@ void Scheduler::dispatch(VThread* t) {
 #ifdef RVK_ASAN_FIBERS
   __sanitizer_finish_switch_fiber(asan_fake_stack_, nullptr, nullptr);
 #endif
+  detail::g_section_vthread = nullptr;  // scheduler context logs nothing
   current_ = nullptr;
   obs::on_switch_out(t, last_reason_);
 
@@ -217,6 +239,7 @@ void Scheduler::yield_now() {
 
 void Scheduler::sleep_for(std::uint64_t ticks) {
   VThread* t = current_;
+  if (t->lazy_frame) [[unlikely]] materialize_lazy_frame(t);
   if (t->forbidden_region_depth != 0) [[unlikely]] {
     if (detail::g_switch_probe != nullptr) {
       detail::g_switch_probe(t, "sleep_for");
@@ -242,6 +265,7 @@ void Scheduler::join(VThread* target) {
 
 void Scheduler::block_current_on(WaitQueue& q) {
   VThread* t = current_;
+  if (t->lazy_frame) [[unlikely]] materialize_lazy_frame(t);
   if (t->forbidden_region_depth != 0) [[unlikely]] {
     if (detail::g_switch_probe != nullptr) {
       detail::g_switch_probe(t, "blocking call");
@@ -372,6 +396,7 @@ void Scheduler::run() {
   RVK_CHECK_MSG(detail::g_current_scheduler == nullptr,
                 "nested Scheduler::run on one OS thread");
   detail::g_current_scheduler = this;
+  detail::g_section_vthread = nullptr;
   running_ = true;
   stalled_ = false;
 
@@ -406,6 +431,7 @@ void Scheduler::run() {
 
   running_ = false;
   detail::g_current_scheduler = nullptr;
+  detail::g_section_vthread = nullptr;
 
   if (cfg_.rethrow_uncaught) {
     // Only the first captured exception can propagate; others (rare — they

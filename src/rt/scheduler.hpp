@@ -68,6 +68,12 @@ struct SchedulerConfig {
   bool rethrow_uncaught = true;
 };
 
+// Materialises the current thread's lazily-deferred synchronized frame via
+// the engine-installed hook (DESIGN.md §11).  Declared ahead of Scheduler so
+// the inline yield point can call it; out-of-line because it fires at most
+// once per synchronized section.  Callers guard on t->lazy_frame.
+void materialize_lazy_frame(VThread* t);
+
 class Scheduler {
  public:
   explicit Scheduler(SchedulerConfig cfg = {});
@@ -110,6 +116,9 @@ class Scheduler {
     VThread* t = current_;
     RVK_DCHECK(t != nullptr);
     ++t->stats_.yield_points;
+    // A lazily-deferred frame must become a real, revocable core::Frame
+    // before any switch can let another thread observe this one (§11).
+    if (t->lazy_frame) [[unlikely]] materialize_lazy_frame(t);
     if (t->forbidden_region_depth != 0) [[unlikely]] forbidden_switch_point(t);
     if (--t->quantum_left_ <= 0) switch_out(SwitchReason::kYield);
     // Exploration probe: runs in green-thread context (so it may throw an
@@ -290,13 +299,33 @@ class Scheduler {
 // code, unit tests without a scheduler).
 namespace detail {
 extern thread_local Scheduler* g_current_scheduler;
+// The thread currently executing on this OS thread *if* it is inside a
+// synchronized section, else nullptr.  This is the write barrier's entire
+// fast-path state (one TLS load + one branch; DESIGN.md §11): maintained by
+// rt::enter_section/exit_section at sync-depth 0↔1 transitions and by
+// dispatch()/run() around every fiber switch.
+extern thread_local VThread* g_section_vthread;
 // Revocation-safety analyzer plumbing (analysis/).  When marking is off the
 // guards below do nothing and forbidden_region_depth stays zero, so the
 // yield-point check never takes its branch — the zero-overhead-when-off
 // contract of RVK_ANALYZE.
 extern bool g_region_marking;
 extern void (*g_switch_probe)(VThread* t, const char* where);
+// Engine-installed lazy-frame materialiser (nullptr when no engine is
+// active); called through rt::materialize_lazy_frame.
+extern void (*g_lazy_frame_hook)(VThread* t);
 }  // namespace detail
+
+// In-section cache accessors (write-barrier fast path).  Out-of-line for the
+// same TLS/sanitizer reason as current_scheduler() below.
+VThread* section_vthread();
+// Called by the engine when the current thread's sync_depth leaves/returns
+// to zero (and by heap tests that simulate section entry by hand).
+void enter_section(VThread* t);
+void exit_section();
+
+// Installs the engine's lazy-frame materialiser (nullptr to uninstall).
+void set_lazy_frame_hook(void (*hook)(VThread*));
 
 // Enables/disables forbidden-region marking (analyzer install/uninstall).
 void set_region_marking(bool on);

@@ -94,6 +94,14 @@ class VThread {
   // slow path.
   int sync_depth = 0;
 
+  // True while the innermost synchronized frame exists only as the lazy
+  // registers in core::ThreadSync (DESIGN.md §11): the biased fast path
+  // deferred pushing a real core::Frame.  Green-thread atomicity bounds the
+  // window — any yield point, blocking call, nested section entry, or first
+  // logged write materialises the frame first, so no other thread can ever
+  // observe the flag set.  Only the revocation engine writes it.
+  bool lazy_frame = false;
+
   // Per-thread sequential undo log (paper §3.1.2).
   log::UndoLog undo_log;
 

@@ -101,11 +101,12 @@ TEST(PinClosureTest, BrokenUpwardClosureIsFlagged) {
   // the analyzer (a live engine maintains the invariant, so a breach can
   // only come from a bug — which is what the audit exists to catch).
   Fixture fx;
-  std::vector<core::Frame> frames(2);
-  frames[0].id = 1;  // outer, revocable
-  frames[1].id = 2;  // inner, pinned: closure broken
-  frames[1].nonrevocable = true;
-  frames[1].pin_reason = core::PinReason::kManual;
+  core::FrameStack frames;
+  frames.push().id = 1;  // outer, revocable
+  core::Frame& inner = frames.push();
+  inner.id = 2;  // inner, pinned: closure broken
+  inner.nonrevocable = true;
+  inner.pin_reason = core::PinReason::kManual;
   Analyzer::active()->on_frame(
       {FrameEvent::Kind::kPin, nullptr, 2, nullptr, &frames});
   EXPECT_EQ(fx.report().count(Violation::Kind::kPinClosure), 1u);
@@ -119,11 +120,12 @@ TEST(PinClosureTest, DeliveryIntoPinnedFramesIsFlagged) {
   // A revocation targeting frame 1 unwinds frames 2 and 1; frame 2 is
   // pinned, so the delivery would roll back a non-revocable section.
   Fixture fx;
-  std::vector<core::Frame> frames(2);
-  frames[0].id = 1;
-  frames[1].id = 2;
-  frames[1].nonrevocable = true;
-  frames[1].pin_reason = core::PinReason::kWait;
+  core::FrameStack frames;
+  frames.push().id = 1;
+  core::Frame& inner = frames.push();
+  inner.id = 2;
+  inner.nonrevocable = true;
+  inner.pin_reason = core::PinReason::kWait;
   Analyzer::active()->on_frame(
       {FrameEvent::Kind::kDeliver, nullptr, 1, nullptr, &frames});
   // Both audits fire: the stack breaks upward closure AND the delivery
@@ -133,11 +135,12 @@ TEST(PinClosureTest, DeliveryIntoPinnedFramesIsFlagged) {
 
 TEST(PinClosureTest, WellFormedPinAndDeliveryAreClean) {
   Fixture fx;
-  std::vector<core::Frame> frames(2);
-  frames[0].id = 1;  // outer pinned, inner revocable: closure holds
-  frames[0].nonrevocable = true;
-  frames[0].pin_reason = core::PinReason::kDependency;
-  frames[1].id = 2;
+  core::FrameStack frames;
+  core::Frame& outer = frames.push();
+  outer.id = 1;  // outer pinned, inner revocable: closure holds
+  outer.nonrevocable = true;
+  outer.pin_reason = core::PinReason::kDependency;
+  frames.push().id = 2;
   Analyzer::active()->on_frame(
       {FrameEvent::Kind::kPin, nullptr, 1, nullptr, &frames});
   // Delivery targeting only the revocable inner frame is sound.

@@ -36,6 +36,8 @@ struct ChurnOutcome {
   std::uint64_t timeouts = 0;         // timed waits that expired
   std::uint64_t traced_writes = 0;    // barrier trace-hook firings
   std::uint64_t violations = 0;       // analyzer report size (0 when off)
+  std::uint64_t bias_grants = 0;      // biased acquires on the monitor
+  std::uint64_t bias_revocations = 0; // bias drops on foreign acquire
 };
 
 // One deterministic revocation-heavy schedule with heavy queue churn.  The
@@ -98,6 +100,8 @@ ChurnOutcome run_churn(bool analyze) {
   out.frames_aborted = engine.stats().frames_aborted;
   out.sections = engine.stats().sections_entered;
   out.traced_writes = g_traced_writes;
+  out.bias_grants = m->stats().bias_grants;
+  out.bias_revocations = m->stats().bias_revocations;
   if (analyze) {
     out.violations = Analyzer::active()->report().violations.size();
   }
@@ -125,6 +129,14 @@ TEST(QueueChurnTest, AnalyzerObservesChurnWithoutPerturbingIt) {
   EXPECT_EQ(on.sections, off.sections);
   EXPECT_EQ(on.timeouts, off.timeouts);
   EXPECT_EQ(on.traced_writes, off.traced_writes);
+
+  // Bias bookkeeping is exercised (the two threads keep trading the
+  // monitor) and counts identically whether grants come from the engine's
+  // lazy fast path (analyzer off) or the monitor's slow path (analyzer on —
+  // its frame hook disables lazy entry, but the grant predicate is shared).
+  EXPECT_GT(off.bias_grants + off.bias_revocations, 0u);
+  EXPECT_EQ(on.bias_grants, off.bias_grants);
+  EXPECT_EQ(on.bias_revocations, off.bias_revocations);
 
   // And the analyzer saw nothing illegal: no switch point inside a
   // forbidden region while queues were relinked, no lockset race, no

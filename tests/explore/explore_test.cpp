@@ -243,6 +243,51 @@ void deadlock_break(ScenarioContext& ctx) {
   expect_done(ctx, st, 3);
 }
 
+// ---------------------------------------------------------------------------
+// Scenario 5 — biased holder revoked (DESIGN.md §11).  L's first section
+// latches the monitor bias; its second entry takes the biased path and then
+// yields inside the section, so H's contention must revoke a holder that
+// entered without ever touching the entry queue.  The §4 deposit protocol
+// has to take over seamlessly: mutual exclusion on the probe, rollback of
+// L's partial update, and the reservation beating L's retry.
+void biased_holder_revoked(ScenarioContext& ctx) {
+  rt::Scheduler& s = ctx.sched();
+  core::Engine& e = ctx.engine();
+  core::RevocableMonitor* m = e.make_monitor("m");
+  Shared* st = ctx.make<Shared>();
+  st->probe = st->heap.alloc("probe", 1);
+
+  s.spawn("L", 2, [&s, &e, m, st] {
+    e.synchronized(*m, [] {});  // latches the bias to L
+    e.synchronized(*m, [&] {    // biased re-entry
+      enter_probe(s, st->probe, 0);
+      s.yield_point();
+      s.yield_point();
+      exit_probe(st->probe, 0);
+    });
+    ++st->done;
+  });
+  // M's acquire also revokes whatever bias is latched at that moment,
+  // covering grant/revoke/steal races among three parties.
+  s.spawn("M", 4, [&s, &e, m, st] {
+    e.synchronized(*m, [&] {
+      enter_probe(s, st->probe, 0);
+      s.yield_point();
+      exit_probe(st->probe, 0);
+    });
+    ++st->done;
+  });
+  s.spawn("H", 8, [&s, &e, m, st] {
+    e.synchronized(*m, [&] {
+      enter_probe(s, st->probe, 0);
+      s.yield_point();
+      exit_probe(st->probe, 0);
+    });
+    ++st->done;
+  });
+  expect_done(ctx, st, 3);
+}
+
 std::string diag(const ExploreResult& r) {
   std::ostringstream oss;
   oss << "schedules=" << r.schedules << " decisions=" << r.decisions
@@ -300,6 +345,35 @@ TEST(ExploreExhaustiveTest, DeadlockBreakSpaceIsClean) {
   const ExploreResult r = explore(deadlock_break, o);
   EXPECT_FALSE(r.failed) << diag(r);
   EXPECT_GE(r.schedules, 100u) << diag(r);
+}
+
+TEST(ExploreExhaustiveTest, BiasedHolderRevokedSpaceIsClean) {
+  ExploreOptions o;
+  o.mode = Mode::kExhaustive;
+  o.preemption_bound = 2;
+  o.max_schedules = 60000;
+  o.name = "biased_holder_revoked";
+  const ExploreResult r = explore(biased_holder_revoked, o);
+  EXPECT_FALSE(r.failed) << diag(r);
+  EXPECT_GE(r.schedules, 50u) << diag(r);
+  EXPECT_GT(r.checks, r.schedules) << diag(r);
+}
+
+TEST(ExploreExhaustiveTest, BiasedLazyPathSurvivesExploration) {
+  // With invariant sweeps off the explorer installs no lifecycle hook, so
+  // the engine's lazy fast path is live during the search: every schedule
+  // exercises real biased entries, the materialise-on-write point, and
+  // revocation of a frame that started lazy.  The probe (mutual exclusion)
+  // and completion assertions still run per schedule.
+  ExploreOptions o;
+  o.mode = Mode::kExhaustive;
+  o.preemption_bound = 2;
+  o.max_schedules = 60000;
+  o.check_invariants = false;
+  o.name = "biased_holder_revoked_lazy";
+  const ExploreResult r = explore(biased_holder_revoked, o);
+  EXPECT_FALSE(r.failed) << diag(r);
+  EXPECT_GE(r.schedules, 50u) << diag(r);
 }
 
 TEST(ExploreExhaustiveTest, EnumerationIsDeterministic) {

@@ -69,10 +69,12 @@ TEST(HeapTest, LoggingOnlyInsideSynchronizedSection) {
     o->set<int>(0, 1);  // sync_depth == 0: fast path, no log
     logged_outside = t->undo_log.size();
     t->sync_depth = 1;  // simulate section entry (engine does this)
+    rt::enter_section(t);
     o->set<int>(0, 2);
     o->set<int>(1, 3);
     logged_inside = t->undo_log.size();
     t->sync_depth = 0;
+    rt::exit_section();
     t->undo_log.discard_all();
   });
   s.run();
@@ -90,6 +92,7 @@ TEST(HeapTest, LogEntryKindsMatchStoreKinds) {
   s.spawn("t", rt::kNormPriority, [&] {
     rt::VThread* t = s.current_thread();
     t->sync_depth = 1;
+    rt::enter_section(t);
     o->set<int>(0, 1);
     arr->set(2, 7);
     h.statics().set<int>(sv, 9);
@@ -100,6 +103,7 @@ TEST(HeapTest, LogEntryKindsMatchStoreKinds) {
     EXPECT_EQ(t->undo_log.count_kind(EntryKind::kStaticField), 1u);
     EXPECT_EQ(t->undo_log.count_kind(EntryKind::kVolatileSlot), 1u);
     t->sync_depth = 0;
+    rt::exit_section();
     t->undo_log.discard_all();
   });
   s.run();
@@ -113,10 +117,12 @@ TEST(HeapTest, UnloggedStoresSkipTheBarrier) {
   s.spawn("t", rt::kNormPriority, [&] {
     rt::VThread* t = s.current_thread();
     t->sync_depth = 1;
+    rt::enter_section(t);
     o->set_word_unlogged(0, 1);
     arr->set_unlogged(0, 2);
     EXPECT_EQ(t->undo_log.size(), 0u);
     t->sync_depth = 0;
+    rt::exit_section();
   });
   s.run();
   EXPECT_EQ(o->get<int>(0), 1);
@@ -131,12 +137,14 @@ TEST(HeapTest, WriterMarkStampedWhenTrackingEnabled) {
   s.spawn("t", rt::kNormPriority, [&] {
     rt::VThread* t = s.current_thread();
     t->sync_depth = 1;
+    rt::enter_section(t);
     t->current_frame_id = 77;
     o->set<int>(0, 1);
     EXPECT_EQ(o->meta().writer_tid, t->id());
     EXPECT_EQ(o->meta().writer_frame, 77u);
     EXPECT_EQ(o->meta().writer_epoch, t->section_epoch);
     t->sync_depth = 0;
+    rt::exit_section();
     t->undo_log.discard_all();
   });
   s.run();
@@ -151,9 +159,11 @@ TEST(HeapTest, WriterMarkNotStampedWhenTrackingDisabled) {
   s.spawn("t", rt::kNormPriority, [&] {
     rt::VThread* t = s.current_thread();
     t->sync_depth = 1;
+    rt::enter_section(t);
     o->set<int>(0, 1);
     EXPECT_EQ(o->meta().writer_tid, 0u);
     t->sync_depth = 0;
+    rt::exit_section();
     t->undo_log.discard_all();
   });
   s.run();
@@ -196,11 +206,13 @@ TEST(HeapTest, UndoRestoresThroughRawLogReplay) {
   s.spawn("t", rt::kNormPriority, [&] {
     rt::VThread* t = s.current_thread();
     t->sync_depth = 1;
+    rt::enter_section(t);
     o->set<int>(0, 11);
     o->set<int>(1, 21);
     o->set<int>(0, 12);
     t->undo_log.rollback_to(0);
     t->sync_depth = 0;
+    rt::exit_section();
   });
   s.run();
   EXPECT_EQ(o->get<int>(0), 10);

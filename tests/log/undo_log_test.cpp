@@ -201,9 +201,10 @@ TEST(UndoLogTest, WatermarkAtExactChunkBoundary) {
   EXPECT_EQ(log.entry(mark).old_value, 2u);
 }
 
-TEST(UndoLogTest, ChunksRetainedAcrossCommit) {
-  // discard_all() keeps the chunks: a steady-state section sized like the
-  // previous one never re-allocates.
+TEST(UndoLogTest, ChunksReleasedToPoolAcrossCommit) {
+  // discard_all() parks retired chunks on the per-thread pool (keeping the
+  // active one): a steady-state section sized like the previous one never
+  // touches the allocator — its chunks come back from the pool.
   UndoLog log(4);
   Word s = 0;
   for (std::size_t i = 0; i < 2 * UndoLog::kChunkEntries; ++i) {
@@ -211,13 +212,48 @@ TEST(UndoLogTest, ChunksRetainedAcrossCommit) {
   }
   const std::size_t cap = log.capacity();
   EXPECT_GE(cap, 2 * UndoLog::kChunkEntries);
+  const std::size_t pooled_before = detail::pooled_chunk_count();
   log.discard_all();
   EXPECT_TRUE(log.empty());
-  EXPECT_EQ(log.capacity(), cap);
+  EXPECT_EQ(log.capacity(), UndoLog::kChunkEntries);  // active chunk kept
+  EXPECT_GT(detail::pooled_chunk_count(), pooled_before);
+  const std::size_t pooled_full = detail::pooled_chunk_count();
   for (std::size_t i = 0; i < 2 * UndoLog::kChunkEntries; ++i) {
     log.record(EntryKind::kObjectField, &s, 0, nullptr, 0);
   }
-  EXPECT_EQ(log.capacity(), cap);  // no growth on the second section
+  EXPECT_EQ(log.capacity(), cap);  // regrown from the pool
+  EXPECT_LT(detail::pooled_chunk_count(), pooled_full);
+}
+
+TEST(UndoLogTest, DestructorReturnsChunksToPool) {
+  const std::size_t pooled_before = detail::pooled_chunk_count();
+  {
+    UndoLog log(4);
+    Word s = 0;
+    for (std::size_t i = 0; i < UndoLog::kChunkEntries + 1; ++i) {
+      log.record(EntryKind::kObjectField, &s, 0, nullptr, 0);
+    }
+    log.discard_all();  // still holds the active chunk
+  }
+  EXPECT_GE(detail::pooled_chunk_count(), pooled_before + 1);
+}
+
+TEST(UndoLogTest, RollbackReleasesRetiredChunks) {
+  UndoLog log(4);
+  Word s = 0;
+  for (std::size_t i = 0; i < 3 * UndoLog::kChunkEntries; ++i) {
+    log.record(EntryKind::kObjectField, &s, 0, nullptr, 0);
+  }
+  EXPECT_GE(log.capacity(), 3 * UndoLog::kChunkEntries);
+  log.rollback_to(1);  // keeps one live entry in chunk 0
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.capacity(), UndoLog::kChunkEntries);
+  // The log keeps working past the trim: refill across the boundary.
+  for (std::size_t i = 0; i < UndoLog::kChunkEntries; ++i) {
+    log.record(EntryKind::kObjectField, &s, 0, nullptr, 0);
+  }
+  EXPECT_EQ(log.size(), UndoLog::kChunkEntries + 1);
+  EXPECT_EQ(log.entry(UndoLog::kChunkEntries).old_value, 0u);
 }
 
 TEST(UndoLogTest, StatsIsConstAndFoldsLiveHighWater) {

@@ -154,6 +154,46 @@ TEST(RecorderTest, InversionScenarioStampsDerivedLatencies) {
   EXPECT_GE(it->second.reserving_releases, 1u);  // the rollback's release
 }
 
+TEST(RecorderTest, BiasedSectionsKeepZeroTickInversionResolution) {
+  // DESIGN.md §11: biased entry must not add latency to the revocation
+  // path.  Warm the monitor's bias with repeat acquires, then run the
+  // Figure-1 inversion against the biased holder; resolution must still
+  // complete in ZERO virtual ticks, exactly as in the unbiased scenario
+  // above.  (With a recorder active the engine routes entries through the
+  // slow path so they are recorded — the bias word still grants there, and
+  // the §4 protocol taking over unchanged is what this test pins down.)
+  ScopedRecorder sr;
+  rt::Scheduler sched;
+  core::Engine engine(sched);
+  heap::Heap heap;
+  heap::HeapObject* o1 = heap.alloc("o1", 1);
+  core::RevocableMonitor* m = engine.make_monitor("m");
+  std::uint64_t grants_before_inversion = 0;
+  sched.spawn("Tl", 2, [&] {
+    for (int i = 0; i < 4; ++i) engine.synchronized(*m, [] {});  // warm bias
+    grants_before_inversion = m->stats().bias_grants;
+    engine.synchronized(*m, [&] {
+      o1->set<int>(0, 13);
+      for (int i = 0; i < 3000; ++i) sched.yield_point();
+    });
+  });
+  sched.spawn("Th", 8, [&] {
+    sched.sleep_for(50);
+    engine.synchronized(*m, [&] { o1->set<int>(0, 42); });
+  });
+  sched.run();
+  ASSERT_EQ(engine.stats().rollbacks_completed, 1u);
+  EXPECT_GE(grants_before_inversion, 3u);     // warmup repeats were granted
+  EXPECT_GE(m->stats().bias_revocations, 1u);  // Th's arrival dropped it
+  const Registry::Entry* inv =
+      sr.rec->registry().find("inversion.resolution_ticks");
+  ASSERT_NE(inv, nullptr);
+  ASSERT_TRUE(inv->is_histogram());
+  EXPECT_EQ(inv->hist->count(), 1u);
+  EXPECT_EQ(inv->hist->max(), 0u);
+  EXPECT_EQ(o1->get<int>(0), 13);  // Tl's retry completed last
+}
+
 TEST(RecorderTest, SnapshotIsChronologicalAndNamesThreads) {
   ScopedRecorder sr;
   run_inversion_scenario();

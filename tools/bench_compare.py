@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare google-benchmark JSON output against a checked-in baseline.
+
+Usage:
+    tools/bench_compare.py BENCH_micro_uncontended.json [more.json ...] \
+        [--baseline results/bench_baseline.json] [--threshold 2.0]
+
+The baseline maps benchmark name -> expected real_time in ns.  A benchmark
+regresses if its measured time exceeds baseline * threshold.  The threshold
+is deliberately generous (default 2.0x): CI runners are noisy, shared, and
+of assorted vintages, so this is a smoke test for order-of-magnitude
+regressions (a fast path falling off its fast path), not a performance
+gate.  Benchmarks missing from the baseline are reported but never fail
+the run, so adding a benchmark does not require touching the baseline in
+the same change.  Refresh the baseline with --update after an intentional
+perf change (run on a quiet machine, Release build).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    """Return {benchmark name: real_time in ns} from google-benchmark JSON.
+
+    The bench binaries print a human-readable "Expected shape" footer after
+    the JSON document (both go to stdout), so parse with raw_decode and
+    ignore trailing text.
+    """
+    with open(path) as f:
+        data, _ = json.JSONDecoder().raw_decode(f.read())
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        out[b["name"]] = b["real_time"] * scale
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("results", nargs="+", help="google-benchmark JSON files")
+    ap.add_argument("--baseline", default="results/bench_baseline.json")
+    ap.add_argument("--threshold", type=float, default=2.0,
+                    help="fail if measured > baseline * threshold")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from these results and exit")
+    args = ap.parse_args()
+
+    measured = {}
+    for path in args.results:
+        measured.update(load_results(path))
+    if not measured:
+        print("bench_compare: no benchmarks found in inputs", file=sys.stderr)
+        return 1
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            json.dump({"_comment": "ns per op; see tools/bench_compare.py",
+                       "benchmarks": {k: round(v, 1)
+                                      for k, v in sorted(measured.items())}},
+                      f, indent=2)
+            f.write("\n")
+        print(f"bench_compare: wrote {len(measured)} entries to {args.baseline}")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)["benchmarks"]
+
+    failures = []
+    for name, base_ns in sorted(baseline.items()):
+        if name not in measured:
+            print(f"  [absent ] {name} (in baseline, not measured)")
+            continue
+        got = measured[name]
+        ratio = got / base_ns if base_ns > 0 else float("inf")
+        status = "ok" if ratio <= args.threshold else "REGRESS"
+        print(f"  [{status:7s}] {name}: {got:.1f} ns vs baseline "
+              f"{base_ns:.1f} ns ({ratio:.2f}x)")
+        if ratio > args.threshold:
+            failures.append(name)
+    for name in sorted(set(measured) - set(baseline)):
+        print(f"  [new    ] {name}: {measured[name]:.1f} ns (not in baseline)")
+
+    if failures:
+        print(f"bench_compare: {len(failures)} regression(s) beyond "
+              f"{args.threshold}x: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("bench_compare: all benchmarks within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
