@@ -35,6 +35,7 @@
 #include "core/frame.hpp"
 #include "heap/barriers.hpp"
 #include "rt/vthread.hpp"
+#include "support/annotations.hpp"
 
 namespace rvk::analysis {
 
@@ -63,6 +64,10 @@ extern void (*g_frame_hook)(const FrameEvent&);
 }  // namespace detail
 
 // Engine-side dispatch; mirrors heap::trace_access's null fast path.
+RVK_TRUSTED(
+    "g_frame_hook is an analyzer seam rvkcheck cannot resolve; the installed "
+    "handler is the dynamic checker itself, which is allowed to allocate "
+    "because it is a diagnostic layer, never enabled in measured runs")
 inline void frame_event(const FrameEvent& e) {
   if (detail::g_frame_hook != nullptr) [[unlikely]] detail::g_frame_hook(e);
 }

@@ -126,6 +126,16 @@ ThreadSync& Engine::sync_of(rt::VThread* t) {
   return *it->second;
 }
 
+ThreadSync& Engine::sync_of_registered(rt::VThread* t) {
+  // Commit/abort/boost operate only on threads whose enter_frame already
+  // registered them, so the stamped pointer must exist; unlike sync_of
+  // there is no insert path — these callers run inside forbidden regions
+  // where allocation is barred (rvkcheck rule forbidden-region).
+  RVK_CHECK_MSG(t->engine_state != nullptr,
+                "engine path on a thread that never entered a section");
+  return *static_cast<ThreadSync*>(t->engine_state);
+}
+
 rt::VThread* Engine::thread_by_id(std::uint32_t tid) {
   auto it = threads_by_id_.find(tid);
   return it != threads_by_id_.end() ? it->second : nullptr;
@@ -205,7 +215,7 @@ std::uint64_t Engine::enter_frame(RevocableMonitor& m, rt::VThread* t,
 }
 
 void Engine::commit_frame(rt::VThread* t) {
-  ThreadSync& ts = sync_of(t);
+  ThreadSync& ts = sync_of_registered(t);
   if (t->lazy_frame) {
     // Lazy commit (DESIGN.md §11): the frame never materialised, so nothing
     // observed it — zero undo entries above its watermark, no speculative
@@ -245,6 +255,9 @@ void Engine::commit_frame(rt::VThread* t) {
   // to the parent frame (which may still abort and reclaim them).
   if (!ts.frames.empty() && !f.allocs.empty()) {
     Frame& parent = ts.frames.back();
+    // rvkcheck:allow(alloc): migrating the speculative-alloc list may grow
+    // the parent's pooled vector; vector growth cannot switch under green
+    // threads (revisit for M:N — ROADMAP item 1).
     parent.allocs.insert(parent.allocs.end(), f.allocs.begin(),
                          f.allocs.end());
   }
@@ -272,12 +285,15 @@ void Engine::commit_frame(rt::VThread* t) {
     t->undo_log.discard_all();
     if (cfg_.dedup_logging) t->dedup.clear();  // bound the filter's memory
     ++t->section_epoch;
+    // rvkcheck:allow(alloc): trace diagnostic, tests/debug only (cfg_.trace
+    // disables the biased fast path entirely — see EngineConfig).
     if (cfg_.trace) jmm::Trace::record_commit_outer();
   }
   // Release *after* the bookkeeping; there is no yield point in between, so
   // the whole step is atomic with respect to other threads.
   f.monitor->release();
   ++stats_.sections_committed;
+  // rvkcheck:allow(alloc): trace diagnostic, tests/debug only.
   if (cfg_.trace) jmm::Trace::record_release(f.monitor);
   if (lifecycle_hook_ || obs::recording()) [[unlikely]] {
     emit(LifecycleEvent::Kind::kSectionCommit, t, f.id, f.monitor);
@@ -288,11 +304,14 @@ void Engine::abort_frame(rt::VThread* t, std::uint64_t expected_frame) {
   // A lazy frame can only reach here via an explicit section_abort (no
   // revocation can target it — §11); materialise so the shared unwind below
   // sees a real frame.
+  // rvkcheck:allow(alloc): materialisation runs before the undo-then-release
+  // sequence begins (nothing reverted or released yet); its pooled frame
+  // push may grow the pool, which cannot switch under green threads.
   if (t->lazy_frame) [[unlikely]] materialize_lazy(t);
   // Same atomicity contract as commit_frame: reverse replay and the
   // reserving release must complete without a switch point (§3.1.2).
   rt::ForbiddenRegionGuard region(t);
-  ThreadSync& ts = sync_of(t);
+  ThreadSync& ts = sync_of_registered(t);
   RVK_CHECK_MSG(!ts.frames.empty(), "abort with no active frame");
   analysis::frame_event({analysis::FrameEvent::Kind::kAbort, t,
                          ts.frames.back().id, ts.frames.back().monitor,
@@ -309,6 +328,7 @@ void Engine::abort_frame(rt::VThread* t, std::uint64_t expected_frame) {
   // locks are released".  Green threads make the sequence atomic.
   if (cfg_.trace) {
     t->undo_log.for_each_above_reverse(f.log_mark, [](const log::Entry& e) {
+      // rvkcheck:allow(alloc): trace diagnostic, tests/debug only.
       jmm::Trace::record_undo(jmm::Loc{e.base, e.offset}, e.old_value);
     });
   }
@@ -338,7 +358,9 @@ void Engine::abort_frame(rt::VThread* t, std::uint64_t expected_frame) {
   f.monitor->release_reserving();
   ++stats_.frames_aborted;
   if (cfg_.trace) {
+    // rvkcheck:allow(alloc): trace diagnostics, tests/debug only.
     jmm::Trace::record_abort_frame(f.id);
+    // rvkcheck:allow(alloc): trace diagnostics, tests/debug only.
     jmm::Trace::record_release(f.monitor);
   }
   if (lifecycle_hook_ || obs::recording()) [[unlikely]] {
@@ -408,7 +430,9 @@ void Engine::deliver(rt::VThread* t) {
   t->revoke_is_deadlock = false;
   t->revoke_target_frame = 0;
 
-  ThreadSync& ts = sync_of(t);
+  // A revocation target held a monitor inside a section, so it is
+  // registered; the find-only lookup keeps deliver's effect set tight.
+  ThreadSync& ts = sync_of_registered(t);
   Frame* f = nullptr;
   for (Frame& fr : ts.frames) {
     if (fr.id == target) {
@@ -450,7 +474,8 @@ void Engine::begin_boost(rt::VThread* victim, int boost_to) {
 }
 
 void Engine::end_boost(rt::VThread* t) {
-  ThreadSync& ts = sync_of(t);
+  // Runs inside commit_frame's forbidden region: registered-only lookup.
+  ThreadSync& ts = sync_of_registered(t);
   if (ts.boost_restore_priority >= 0) {
     t->set_priority(ts.boost_restore_priority);
     ts.boost_restore_priority = -1;

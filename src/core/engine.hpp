@@ -41,6 +41,7 @@
 #include "heap/barriers.hpp"
 #include "heap/object.hpp"
 #include "rt/scheduler.hpp"
+#include "support/annotations.hpp"
 
 namespace rvk::obs {
 class Registry;
@@ -327,7 +328,14 @@ class Engine {
   bool request_revocation(rt::VThread* owner, RevocableMonitor& m,
                           bool deadlock = false, int boost_to = 0);
 
-  ThreadSync& sync_of(rt::VThread* t);
+  RVK_MAY_ALLOC ThreadSync& sync_of(rt::VThread* t);
+
+  // sync_of for threads the engine has already registered (any thread that
+  // ever entered a section): one stamped-pointer load, never a hash insert.
+  // The commit/abort/boost paths run inside forbidden regions where
+  // allocation is barred, and they only ever operate on registered threads
+  // — rvkcheck's forbidden-region rule holds them to this variant.
+  RVK_NO_YIELD ThreadSync& sync_of_registered(rt::VThread* t);
 
   // Read-only view of a thread's section state; unlike sync_of it never
   // inserts, so it is safe from scheduler context (exploration invariant
@@ -343,10 +351,12 @@ class Engine {
   }
 
  private:
-  std::uint64_t enter_frame(RevocableMonitor& m, rt::VThread* t,
-                            int budget_used);
-  void commit_frame(rt::VThread* t);
-  void abort_frame(rt::VThread* t, std::uint64_t expected_frame);
+  RVK_MAY_YIELD RVK_MAY_BLOCK RVK_MAY_ALLOC std::uint64_t enter_frame(
+      RevocableMonitor& m, rt::VThread* t, int budget_used);
+  // commit/abort are the §3.1.2 undo-then-release sequences; rvkcheck
+  // treats them as forbidden roots (no yield/block/alloc on any path).
+  RVK_NO_YIELD void commit_frame(rt::VThread* t);
+  RVK_NO_YIELD void abort_frame(rt::VThread* t, std::uint64_t expected_frame);
 
   // Turns the lazy registers in ThreadSync into a real, revocable Frame
   // (DESIGN.md §11).  Installed as rt's lazy-frame hook; also called
@@ -360,8 +370,11 @@ class Engine {
 
   // Revocation delivery (installed as the scheduler's deliverer): validates
   // the pending request against the thread's live frames and either throws
-  // RollbackException or drops the request.
-  void deliver(rt::VThread* t);
+  // RollbackException or drops the request.  MAY_YIELD: the throw unwinds
+  // into scheduler-visible state, which is exactly what a forbidden region
+  // must never do — the annotation is how rvkcheck sees through the
+  // `throw` (inference alone computes the empty set for it).
+  RVK_MAY_YIELD void deliver(rt::VThread* t);
 
   // Deadlock detection: walks the waits-for chain assuming `t` blocks on
   // `m`; on a cycle, picks and revokes a victim.  Returns true if a cycle
@@ -392,6 +405,10 @@ class Engine {
   // (out-of-line: the event-kind mapping lives in engine.cpp).  Runs inside
   // transitions — often inside forbidden regions — so both sinks must obey
   // the no-alloc/no-yield contract.
+  RVK_TRUSTED(
+      "lifecycle_hook_ is a test-installed std::function rvkcheck cannot "
+      "resolve; the set_lifecycle_hook contract requires hooks to be "
+      "forbidden-safe, and the obs sink is verified separately")
   void emit(LifecycleEvent::Kind kind, rt::VThread* t, std::uint64_t frame,
             RevocableMonitor* m);
 

@@ -33,7 +33,7 @@ class RevocableMonitor : public monitor::MonitorBase {
   RevocableMonitor(std::string name, Engine& engine);
   ~RevocableMonitor() override;
 
-  void acquire() override;
+  RVK_MAY_YIELD RVK_MAY_BLOCK RVK_MAY_ALLOC void acquire() override;
 
   Engine& engine() const { return engine_; }
 
@@ -50,7 +50,7 @@ class RevocableMonitor : public monitor::MonitorBase {
   // the monitor on its first try_take with no bookkeeping: biased to t,
   // free, unreserved.  Deposits t's priority per §4 so background inversion
   // sweeps see the same header an ordinary acquire would leave.
-  bool bias_fast_acquire(rt::VThread* t) {
+  RVK_NO_YIELD bool bias_fast_acquire(rt::VThread* t) {
     if (bias_ != t || owner_ != nullptr || reserved_ != nullptr) return false;
     ++stats_.acquires;
     ++stats_.bias_grants;
@@ -64,7 +64,7 @@ class RevocableMonitor : public monitor::MonitorBase {
   // atomicity guarantees no waiter arrived (the entry queue is untouched
   // since the grant), so there is nothing to hand off.  The bias keeps
   // pointing at t — that is the point.
-  void bias_fast_release([[maybe_unused]] rt::VThread* t) {
+  RVK_NO_YIELD void bias_fast_release([[maybe_unused]] rt::VThread* t) {
     RVK_DCHECK(owner_ == t && recursion_ == 1);
     RVK_DCHECK(entry_queue_.empty());
     owner_ = nullptr;

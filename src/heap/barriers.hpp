@@ -21,6 +21,7 @@
 
 #include "log/undo_log.hpp"
 #include "rt/scheduler.hpp"
+#include "support/annotations.hpp"
 
 namespace rvk::heap {
 
@@ -127,8 +128,9 @@ void set_volatile_write_hook(void (*hook)(const void*));
 // bump-pointer append — the dedup-enabled test reads per-thread state
 // (VThread::log_dedup, stamped by the engine) rather than a process global,
 // so no extra cache line is touched on the hot path.
-inline void write_barrier(log::EntryKind kind, ObjectMeta& meta, Word* addr,
-                          const void* base, std::uint32_t offset) {
+RVK_MAY_ALLOC inline void write_barrier(log::EntryKind kind, ObjectMeta& meta,
+                                        Word* addr, const void* base,
+                                        std::uint32_t offset) {
   rt::VThread* t = rt::section_vthread();
   if (t == nullptr) [[likely]] {
     return;  // fast path: not in a section

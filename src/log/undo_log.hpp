@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "support/annotations.hpp"
 
 namespace rvk::log {
 
@@ -84,6 +85,10 @@ inline void set_log_obs_hook(void (*hook)(LogEventKind, std::uint64_t)) {
   detail::g_log_obs_hook = hook;
 }
 
+RVK_TRUSTED(
+    "g_log_obs_hook is a function-pointer seam rvkcheck cannot resolve; the "
+    "install contract above requires the handler to be forbidden-safe, and "
+    "the obs-side handler is checked separately")
 inline void log_obs_event(LogEventKind kind, std::uint64_t arg) {
   if (detail::g_log_obs_hook != nullptr) [[unlikely]] {
     detail::g_log_obs_hook(kind, arg);
@@ -129,8 +134,8 @@ class UndoLog {
   // thread, so it stays minimal: one predicted-not-taken chunk-full test,
   // one bump-pointer store, one counter.  Growth never moves existing
   // entries.
-  void record(EntryKind kind, Word* addr, Word old_value, const void* base,
-              std::uint32_t offset) {
+  RVK_MAY_ALLOC void record(EntryKind kind, Word* addr, Word old_value,
+                            const void* base, std::uint32_t offset) {
     if (cursor_ == chunk_end_) [[unlikely]] next_chunk();
     *cursor_++ = Entry{addr, old_value, base, offset, kind};
     ++stats_.appends;
@@ -151,12 +156,15 @@ class UndoLog {
   //
   // Nested writes to the same location are handled naturally by reverse
   // replay: the oldest entry is replayed last and wins.
-  void rollback_to(std::size_t mark);
+  // NO_YIELD: rollback replay runs inside the engine's undo-then-release
+  // forbidden region (§3.1.2).  Truncation recycles chunks to the pool
+  // instead of freeing or allocating.
+  RVK_NO_YIELD void rollback_to(std::size_t mark);
 
   // Discards every entry: the outermost frame committed, so all speculative
   // stores are now permanent.  Retired chunks (beyond the active one) go
   // back to the per-thread pool.
-  void discard_all();
+  RVK_NO_YIELD void discard_all();
 
   // Entry addresses are stable across growth (chunks never move), so the
   // returned reference stays valid until the entry is truncated away.
@@ -194,14 +202,14 @@ class UndoLog {
  private:
   // Cold path of record(): opens the next chunk (pool, then allocator) and
   // refreshes the high-water statistic.
-  void next_chunk();
+  RVK_MAY_ALLOC void next_chunk();
 
   // Repositions the cursor at logical index `n` (≤ current size).
-  void set_position(std::size_t n);
+  RVK_NO_YIELD void set_position(std::size_t n);
 
   // Returns chunks holding no live entries (index > active_) to the pool.
   // Only called from truncation paths, never from record().
-  void release_retired_chunks();
+  RVK_NO_YIELD void release_retired_chunks();
 
   void note_high_water() {
     const std::uint64_t n = size();

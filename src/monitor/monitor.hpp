@@ -64,28 +64,31 @@ class MonitorBase {
 
   // Acquires the monitor, blocking as needed.  Recursive acquisition by the
   // owner succeeds immediately.
-  virtual void acquire();
+  RVK_MAY_YIELD RVK_MAY_BLOCK RVK_MAY_ALLOC virtual void acquire();
 
   // Releases one level of ownership; frees the monitor (waking the best
   // waiter) when the recursion count reaches zero.  Arrivals may barge in
   // before the woken waiter runs.
-  virtual void release();
+  // NO_YIELD: the entire release sequence runs inside a forbidden region —
+  // §3.1.2 requires undo-then-release to be one indivisible step.
+  RVK_NO_YIELD virtual void release();
 
   // Like release(), but reserves the monitor for the best waiter: only a
   // strictly higher-priority arrival may take it first.  Used by rollback
   // unwinding so the preempting thread — not the revoked victim retrying —
   // enters next.
-  void release_reserving();
+  RVK_NO_YIELD void release_reserving();
 
   // Java Object.wait(): fully releases the monitor (all recursion levels),
   // parks on the wait set until notified (spurious wakeups permitted), then
   // reacquires to the saved recursion depth.
-  void wait();
+  RVK_MAY_YIELD RVK_MAY_BLOCK RVK_MAY_ALLOC void wait();
 
   // Java Object.wait(timeout): as wait(), but gives up after `ticks`
   // virtual ticks.  Returns true if notified, false on timeout; the monitor
   // is reacquired either way.
-  bool wait_for(std::uint64_t ticks);
+  RVK_MAY_YIELD RVK_MAY_BLOCK RVK_MAY_ALLOC bool wait_for(
+      std::uint64_t ticks);
 
   // Java Object.notify()/notifyAll(): moves waiter(s) to contend for the
   // monitor.  Caller must hold the monitor.
@@ -120,10 +123,10 @@ class MonitorBase {
 
   // Pops the best entry-queue waiter and makes it runnable; if `reserve`,
   // additionally reserves the monitor for it.  Called with the monitor free.
-  void handoff(bool reserve);
+  RVK_NO_YIELD void handoff(bool reserve);
 
   // Shared body of release()/release_reserving().
-  void do_release(bool reserve);
+  RVK_NO_YIELD void do_release(bool reserve);
 
   // Priority standing between waiter `t` and this monitor (deposited owner
   // priority, else a blocking reservation's, else t's own) — what the obs

@@ -18,8 +18,15 @@ CeilingDomain::ThreadState& CeilingDomain::state_of(rt::VThread* t) {
   return it->second;
 }
 
+CeilingDomain::ThreadState& CeilingDomain::held_state_of(rt::VThread* t) {
+  auto it = threads_.find(t);
+  RVK_CHECK_MSG(it != threads_.end(), "release by thread with no state");
+  return it->second;
+}
+
 void CeilingDomain::recompute(rt::VThread* t) {
-  ThreadState& s = state_of(t);
+  // Release path: must not insert (forbidden region — see held_state_of).
+  ThreadState& s = held_state_of(t);
   int prio = s.base_priority;
   for (PriorityCeilingMonitor* m : s.held) {
     prio = std::max(prio, m->ceiling());
@@ -34,7 +41,7 @@ void PriorityCeilingMonitor::on_acquired(rt::VThread* t) {
 }
 
 void PriorityCeilingMonitor::on_released(rt::VThread* t) {
-  auto& s = domain_.state_of(t);
+  auto& s = domain_.held_state_of(t);
   auto it = std::find(s.held.begin(), s.held.end(), this);
   RVK_CHECK_MSG(it != s.held.end(), "released monitor not in held set");
   s.held.erase(it);

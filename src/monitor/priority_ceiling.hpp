@@ -39,6 +39,12 @@ class CeilingDomain {
   };
 
   ThreadState& state_of(rt::VThread* t);
+
+  // Find-only state_of for the release path: on_released runs inside the
+  // monitor's forbidden region (no allocation), and the releasing thread's
+  // state must exist — on_acquired created it.
+  ThreadState& held_state_of(rt::VThread* t);
+
   void recompute(rt::VThread* t);
 
   std::unordered_map<rt::VThread*, ThreadState> threads_;

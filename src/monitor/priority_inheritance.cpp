@@ -19,6 +19,13 @@ InheritanceDomain::ThreadState& InheritanceDomain::state_of(rt::VThread* t) {
   return it->second;
 }
 
+InheritanceDomain::ThreadState& InheritanceDomain::held_state_of(
+    rt::VThread* t) {
+  auto it = threads_.find(t);
+  RVK_CHECK_MSG(it != threads_.end(), "release by thread with no state");
+  return it->second;
+}
+
 void InheritanceDomain::boost_chain(PriorityInheritanceMonitor* m, int prio) {
   // Each thread blocks on at most one monitor, so the chain is a simple
   // walk; it terminates because priorities strictly increase along it.
@@ -32,7 +39,8 @@ void InheritanceDomain::boost_chain(PriorityInheritanceMonitor* m, int prio) {
 }
 
 void InheritanceDomain::recompute(rt::VThread* t) {
-  ThreadState& s = state_of(t);
+  // Release path: must not insert (forbidden region — see held_state_of).
+  ThreadState& s = held_state_of(t);
   int prio = s.base_priority;
   for (PriorityInheritanceMonitor* m : s.held) {
     m->entry_queue().for_each([&prio](rt::VThread* w) {
@@ -54,7 +62,7 @@ void PriorityInheritanceMonitor::on_acquired(rt::VThread* t) {
 }
 
 void PriorityInheritanceMonitor::on_released(rt::VThread* t) {
-  auto& s = domain_.state_of(t);
+  auto& s = domain_.held_state_of(t);
   auto it = std::find(s.held.begin(), s.held.end(), this);
   RVK_CHECK_MSG(it != s.held.end(), "released monitor not in held set");
   s.held.erase(it);

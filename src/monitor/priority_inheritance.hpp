@@ -50,6 +50,11 @@ class InheritanceDomain {
 
   ThreadState& state_of(rt::VThread* t);
 
+  // Find-only state_of for the release path: on_released runs inside the
+  // monitor's forbidden region (no allocation), and the releasing thread's
+  // state must exist — on_acquired created it.
+  ThreadState& held_state_of(rt::VThread* t);
+
   // Walks the blocking chain from the owner of `m`, raising priorities to at
   // least `prio` (the transitive inheritance step).
   void boost_chain(PriorityInheritanceMonitor* m, int prio);

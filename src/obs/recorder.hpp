@@ -47,6 +47,7 @@
 #include "obs/ring.hpp"
 #include "rt/scheduler.hpp"
 #include "rt/vthread.hpp"
+#include "support/annotations.hpp"
 
 namespace rvk::obs {
 
@@ -132,23 +133,26 @@ class Recorder {
 
   // ---- Recording handlers (called through the inline dispatchers) ----
 
-  void record_spawn(rt::VThread* t);                       // may allocate
+  RVK_MAY_ALLOC void record_spawn(rt::VThread* t);         // may allocate
   void record_dispatch(rt::VThread* t);
   void record_switch_out(rt::VThread* t, rt::SwitchReason reason);
-  void record_monitor_contend(rt::VThread* t, const void* m,
-                              std::string_view name, int deposited_priority);
-  void record_monitor_acquired(rt::VThread* t, const void* m,
-                               std::string_view name, bool contended);
-  void record_monitor_barge(rt::VThread* t, const void* m,
-                            std::string_view name);
-  void record_monitor_release(rt::VThread* t, const void* m,
-                              std::string_view name,
-                              bool reserving);           // forbidden-safe
-  void record_engine(EventKind kind, rt::VThread* t, std::uint64_t frame,
-                     const void* m, std::uint64_t aux);  // forbidden-safe
-  void record_log_rollback(std::uint64_t words);         // forbidden-safe
+  RVK_MAY_ALLOC void record_monitor_contend(rt::VThread* t, const void* m,
+                                            std::string_view name,
+                                            int deposited_priority);
+  RVK_MAY_ALLOC void record_monitor_acquired(rt::VThread* t, const void* m,
+                                             std::string_view name,
+                                             bool contended);
+  RVK_MAY_ALLOC void record_monitor_barge(rt::VThread* t, const void* m,
+                                          std::string_view name);
+  RVK_NO_YIELD void record_monitor_release(rt::VThread* t, const void* m,
+                                           std::string_view name,
+                                           bool reserving);  // forbidden-safe
+  RVK_NO_YIELD void record_engine(EventKind kind, rt::VThread* t,
+                                  std::uint64_t frame, const void* m,
+                                  std::uint64_t aux);    // forbidden-safe
+  RVK_NO_YIELD void record_log_rollback(std::uint64_t words);  // forbidden-safe
   void record_log_grow(std::uint64_t capacity);
-  void record_log_commit(std::uint64_t words);           // forbidden-safe
+  RVK_NO_YIELD void record_log_commit(std::uint64_t words);  // forbidden-safe
 
   const RecorderConfig& config() const { return cfg_; }
 

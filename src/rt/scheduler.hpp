@@ -35,6 +35,7 @@
 #include "common/check.hpp"
 #include "rt/vthread.hpp"
 #include "rt/wait_queue.hpp"
+#include "support/annotations.hpp"
 
 namespace rvk::rt {
 
@@ -72,7 +73,9 @@ struct SchedulerConfig {
 // the engine-installed hook (DESIGN.md §11).  Declared ahead of Scheduler so
 // the inline yield point can call it; out-of-line because it fires at most
 // once per synchronized section.  Callers guard on t->lazy_frame.
-void materialize_lazy_frame(VThread* t);
+// MAY_ALLOC declared by hand: the engine hook behind the function pointer
+// pushes a pooled core::Frame, which rvkcheck cannot see through the edge.
+RVK_MAY_ALLOC void materialize_lazy_frame(VThread* t);
 
 class Scheduler {
  public:
@@ -86,7 +89,8 @@ class Scheduler {
 
   // Creates a thread; it becomes runnable immediately.  Callable before
   // run() and from inside green threads.
-  VThread* spawn(std::string name, int priority, std::function<void()> body);
+  RVK_MAY_ALLOC VThread* spawn(std::string name, int priority,
+                               std::function<void()> body);
 
   // Runs until every thread finished, or until a stall (see OnStall).
   // Callable again after it returns if new threads were spawned.
@@ -111,7 +115,7 @@ class Scheduler {
   // The quasi-preemption point: advances the clock, rotates the processor on
   // quantum expiry, and delivers pending revocation requests (may throw the
   // engine's rollback exception).
-  void yield_point() {
+  RVK_MAY_YIELD RVK_MAY_ALLOC void yield_point() {
     ++ticks_;
     VThread* t = current_;
     RVK_DCHECK(t != nullptr);
@@ -129,17 +133,18 @@ class Scheduler {
   }
 
   // Unconditionally gives up the processor (still a revocation point).
-  void yield_now();
+  RVK_MAY_YIELD RVK_MAY_ALLOC void yield_now();
 
   // Sleeps for `ticks` virtual ticks.
-  void sleep_for(std::uint64_t ticks);
+  RVK_MAY_YIELD RVK_MAY_BLOCK RVK_MAY_ALLOC void sleep_for(
+      std::uint64_t ticks);
 
   // Blocks until `t` finishes.
-  void join(VThread* t);
+  RVK_MAY_YIELD RVK_MAY_BLOCK RVK_MAY_ALLOC void join(VThread* t);
 
   // Delivers a pending revocation on the current thread, if any (throws the
   // engine-installed exception).  Monitors call this after every wakeup.
-  void check_revocation() {
+  RVK_MAY_YIELD void check_revocation() {
     if (current_->revoke_requested) [[unlikely]] deliver_revocation();
   }
 
@@ -147,25 +152,28 @@ class Scheduler {
 
   // Parks the current thread on `q`; returns when some other thread wakes it
   // (or interrupt() yanks it out — check current_thread()->interrupted).
-  void block_current_on(WaitQueue& q);
+  RVK_MAY_YIELD RVK_MAY_BLOCK RVK_MAY_ALLOC void block_current_on(
+      WaitQueue& q);
 
   // Like block_current_on, but gives up after `ticks` virtual ticks.
   // Returns true if woken by another thread, false on timeout (the thread
   // was removed from `q`; current_thread()->timed_out is also set).
-  bool block_current_on_for(WaitQueue& q, std::uint64_t ticks);
+  RVK_MAY_YIELD RVK_MAY_BLOCK RVK_MAY_ALLOC bool block_current_on_for(
+      WaitQueue& q, std::uint64_t ticks);
 
   // Marks a thread the caller popped off a WaitQueue as runnable again.
-  void make_runnable(VThread* t);
+  // NO_YIELD: monitor handoff calls this inside its forbidden region.
+  RVK_NO_YIELD void make_runnable(VThread* t);
 
   // Wakes the best-priority thread parked on `q`; returns it (nullptr if the
   // queue was empty).
-  VThread* wake_best(WaitQueue& q);
+  RVK_NO_YIELD VThread* wake_best(WaitQueue& q);
 
   // Wakes every thread parked on `q`.
-  void wake_all(WaitQueue& q);
+  RVK_NO_YIELD void wake_all(WaitQueue& q);
 
   // Wakes `t` if it is parked on `q`; returns false if it was not there.
-  bool wake_specific(WaitQueue& q, VThread* t);
+  RVK_NO_YIELD bool wake_specific(WaitQueue& q, VThread* t);
 
   // Asynchronous wakeup: if `t` is blocked or sleeping, removes it from its
   // queue / the sleep set, sets t->interrupted, and makes it runnable.  Used
@@ -238,13 +246,18 @@ class Scheduler {
   static void forbidden_switch_point(VThread* t);
 
   VThread* pick_next();
-  void dispatch(VThread* t);
-  void switch_out(SwitchReason reason);
-  [[noreturn]] void finish_current();
+  // MAY_ALLOC: the obs recorder lazily registers a thread's ring at
+  // dispatch (legal: scheduler context is never a forbidden region).
+  RVK_MAY_YIELD RVK_MAY_ALLOC void dispatch(VThread* t);
+  RVK_MAY_YIELD RVK_MAY_ALLOC void switch_out(SwitchReason reason);
+  [[noreturn]] RVK_MAY_YIELD RVK_MAY_ALLOC void finish_current();
   void arm_timer(VThread* t, std::uint64_t deadline, bool timed_block);
   void fire_due_timers();
   std::uint64_t next_timer_deadline();
-  void deliver_revocation();
+  // MAY_YIELD declared by hand: deliverer_ (a std::function rvkcheck cannot
+  // resolve) throws the engine's RollbackException, which unwinds into
+  // scheduler-visible state.
+  RVK_MAY_YIELD void deliver_revocation();
 
   // Deadline min-heap entry: a sleeping thread's wakeup or a timed block's
   // timeout.  Entries are validated lazily against the thread's timer_gen_
@@ -364,7 +377,7 @@ Scheduler* current_scheduler();
 VThread* current_vthread();
 
 // Convenience wrappers used throughout workloads.
-inline void yield_point() {
+RVK_MAY_YIELD RVK_MAY_ALLOC inline void yield_point() {
   Scheduler* s = detail::g_current_scheduler;
   if (s != nullptr) s->yield_point();
 }

@@ -1,0 +1,72 @@
+// Effect annotations for the rvkcheck static protocol checker
+// (tools/rvkcheck/, DESIGN.md §12).
+//
+// The runtime's correctness argument is a *static* property of the call
+// graph: the §3.1.2 undo-then-release sequences (engine commit/abort,
+// monitor release paths, undo-log truncation) must never reach a yield
+// point, a blocking call, or an allocating operation — green-thread
+// atomicity is what makes them indivisible, and the forthcoming M:N and
+// cancellation work (ROADMAP items 1 and 5) only raises the stakes.  The
+// analyzer (src/analysis/) checks this dynamically on schedules that
+// happen to execute; rvkcheck proves it over every path at build time.
+//
+// The macros below declare a function's *effect set* — the lattice is
+// {YIELD, BLOCK, ALLOC}, ordered by subset inclusion:
+//
+//   RVK_MAY_YIELD  — may execute a yield point / context switch (including
+//                    throwing the engine's RollbackException, which unwinds
+//                    through scheduler-visible state).
+//   RVK_MAY_BLOCK  — may park the calling thread (wait queues, sleeps,
+//                    monitor acquisition).
+//   RVK_MAY_ALLOC  — may allocate (operator new, malloc, growing a
+//                    container).  Deallocation is deliberately NOT in the
+//                    lattice: it cannot switch under the green-thread
+//                    runtime and the pooled release paths depend on it
+//                    (DESIGN.md §12 discusses the M:N caveat).
+//   RVK_NO_YIELD   — asserts the empty effect set: no yield, no block, no
+//                    allocation on any path.  This is the annotation the
+//                    forbidden-region roots carry.
+//
+// rvkcheck verifies declarations in both directions: a forbidden-region
+// path reaching a function whose computed effects are non-empty is a
+// finding (rule forbidden-region), and a declared effect set smaller than
+// the computed one is a finding (rule annotation-soundness) — stale
+// annotations fail the build rather than rot.
+//
+// RVK_TRUSTED("reason") is the escape hatch for edges the checker cannot
+// resolve (function pointers, std::function hooks, virtual calls into
+// user code).  It caps the function's effects at the empty set ON TRUST;
+// the reason string is mandatory and is surfaced verbatim in the
+// checker's JSON report so every trusted edge stays auditable.  Policy
+// (DESIGN.md §12): a trusted function must itself be leaf-simple — the
+// hatch covers the unresolvable *edge*, not an arbitrary subtree.
+//
+// Codegen cost: zero.  Under Clang the macros expand to
+// [[clang::annotate]] (retrievable from the AST should the checker ever
+// grow a libclang frontend); everywhere else they expand to nothing.
+// rvkcheck itself reads the macro *tokens*, so the declarations are
+// meaningful under any compiler.
+#pragma once
+
+#if defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::annotate)
+#define RVK_ANNOTATE_(what) [[clang::annotate(what)]]
+#endif
+#endif
+#ifndef RVK_ANNOTATE_
+#define RVK_ANNOTATE_(what)
+#endif
+
+// Effect declarations.  Place directly before the function's return type,
+// after `template<...>` / `static` / `virtual` if present:
+//
+//   RVK_MAY_BLOCK RVK_MAY_YIELD void acquire();
+//   RVK_NO_YIELD void do_release(bool reserve);
+#define RVK_MAY_YIELD RVK_ANNOTATE_("rvk::may_yield")
+#define RVK_MAY_BLOCK RVK_ANNOTATE_("rvk::may_block")
+#define RVK_MAY_ALLOC RVK_ANNOTATE_("rvk::may_alloc")
+#define RVK_NO_YIELD RVK_ANNOTATE_("rvk::no_yield")
+
+// Escape hatch for unresolvable call-graph edges; `reason` (a string
+// literal) is mandatory and lands in the checker report.
+#define RVK_TRUSTED(reason) RVK_ANNOTATE_("rvk::trusted:" reason)

@@ -21,23 +21,73 @@ import json
 import sys
 
 
+class BenchDataError(Exception):
+    """A results or baseline file is unreadable, malformed, or incomplete."""
+
+
 def load_results(path):
     """Return {benchmark name: real_time in ns} from google-benchmark JSON.
 
     The bench binaries print a human-readable "Expected shape" footer after
     the JSON document (both go to stdout), so parse with raw_decode and
-    ignore trailing text.
+    ignore trailing text.  Raises BenchDataError, naming the file and the
+    offending benchmark, on anything short of well-formed data.
     """
-    with open(path) as f:
-        data, _ = json.JSONDecoder().raw_decode(f.read())
+    try:
+        with open(path) as f:
+            data, _ = json.JSONDecoder().raw_decode(f.read())
+    except OSError as e:
+        raise BenchDataError(f"cannot read {path}: {e.strerror}")
+    except ValueError as e:
+        raise BenchDataError(f"malformed JSON in {path}: {e}")
+    if not isinstance(data, dict):
+        raise BenchDataError(f"malformed JSON in {path}: expected an object, "
+                             f"got {type(data).__name__}")
     out = {}
-    for b in data.get("benchmarks", []):
+    for i, b in enumerate(data.get("benchmarks", [])):
         if b.get("run_type") == "aggregate":
             continue
+        name = b.get("name")
+        if name is None:
+            raise BenchDataError(
+                f"{path}: benchmark entry #{i} has no \"name\" key")
         unit = b.get("time_unit", "ns")
-        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
-        out[b["name"]] = b["real_time"] * scale
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            raise BenchDataError(
+                f"{path}: benchmark {name!r} has unknown time_unit {unit!r}")
+        try:
+            out[name] = float(b["real_time"]) * scale
+        except KeyError:
+            raise BenchDataError(
+                f"{path}: benchmark {name!r} has no \"real_time\" key")
+        except (TypeError, ValueError):
+            raise BenchDataError(
+                f"{path}: benchmark {name!r} has non-numeric real_time "
+                f"{b['real_time']!r}")
     return out
+
+
+def load_baseline(path):
+    """Return the baseline's name -> ns mapping, or raise BenchDataError."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        raise BenchDataError(f"cannot read baseline {path}: {e.strerror}")
+    except ValueError as e:
+        raise BenchDataError(f"malformed JSON in baseline {path}: {e}")
+    if not isinstance(data, dict) or "benchmarks" not in data:
+        raise BenchDataError(
+            f"baseline {path} has no \"benchmarks\" key (regenerate it "
+            f"with --update)")
+    baseline = data["benchmarks"]
+    for name, ns in baseline.items():
+        if not isinstance(ns, (int, float)):
+            raise BenchDataError(
+                f"baseline {path}: benchmark {name!r} has non-numeric "
+                f"value {ns!r}")
+    return baseline
 
 
 def main():
@@ -50,9 +100,13 @@ def main():
                     help="rewrite the baseline from these results and exit")
     args = ap.parse_args()
 
-    measured = {}
-    for path in args.results:
-        measured.update(load_results(path))
+    try:
+        measured = {}
+        for path in args.results:
+            measured.update(load_results(path))
+    except BenchDataError as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
     if not measured:
         print("bench_compare: no benchmarks found in inputs", file=sys.stderr)
         return 1
@@ -67,8 +121,11 @@ def main():
         print(f"bench_compare: wrote {len(measured)} entries to {args.baseline}")
         return 0
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)["benchmarks"]
+    try:
+        baseline = load_baseline(args.baseline)
+    except BenchDataError as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
 
     failures = []
     for name, base_ns in sorted(baseline.items()):

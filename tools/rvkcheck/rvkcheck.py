@@ -1,0 +1,1197 @@
+#!/usr/bin/env python3
+"""rvkcheck — whole-program static protocol checker for the revoke runtime.
+
+Verifies, over the project call graph, the invariants the revocation
+protocol's correctness argument rests on (DESIGN.md §12; CLAUDE.md
+"Invariants that are easy to break"):
+
+  forbidden-region      No path from a forbidden region — the engine's
+                        commit/abort sequences, monitor release paths,
+                        undo-log truncation, chunk-pool release — reaches a
+                        yield point, a blocking call, or an allocating
+                        operation.  Regions are derived from the code
+                        itself (every `ForbiddenRegionGuard` scope) plus a
+                        configured list of whole-function roots.
+  fiber-pairing         Every `__sanitizer_start_switch_fiber` is matched
+                        by a `__sanitizer_finish_switch_fiber` later in
+                        the same function, every `swapcontext` between
+                        them (google/sanitizers#189), including the
+                        kFinish teardown variant.  A finish with no
+                        preceding start is legal only for the configured
+                        first-arrival functions (VThread::entry).
+  tls-out-of-line       No function defined in a header touches the
+                        scheduler-identity TLS (`g_current_scheduler`,
+                        `g_section_vthread`) directly: inlining the access
+                        into long-running fiber frames lets GCC cache the
+                        TLS-derived address across `swapcontext`
+                        (CLAUDE.md; UBSan flags it, and it breaks under
+                        any M:N scheduler-to-OS-thread mapping).
+  annotation-soundness  A function's declared effect set (RVK_MAY_YIELD /
+                        RVK_MAY_BLOCK / RVK_MAY_ALLOC / RVK_NO_YIELD, see
+                        src/support/annotations.hpp) must be a superset of
+                        its computed effects, so stale annotations fail
+                        the build.
+
+Frontend: a deterministic C++ tokenizer + scope walker, driven by the
+compile database for the TU list.  The repository is clang-formatted and
+idiomatically regular, which is what makes a lexical frontend reliable
+here; the annotation macros double as [[clang::annotate]] markers so a
+libclang frontend can replace this one without touching the rules (the
+build container deliberately carries no clang — DESIGN.md §12 records the
+trade-off).
+
+Conservatism model (DESIGN.md §12): effects propagate bottom-up through
+every resolvable edge, unioning over same-name candidates (which covers
+virtual dispatch).  Unresolvable leaves (std:: helpers, macros, calls
+through function pointers) default to the empty effect set; the
+declared-effect annotations, the RVK_TRUSTED hatch, and the runtime
+analyzer (src/analysis/) are the documented backstops for that open
+world.  Per-line `// rvkcheck:allow(effect,...): reason` suppressions
+accept a specific call site; every suppression and trusted function is
+listed in the JSON report so the escape hatches stay auditable.
+
+Usage:
+    tools/rvkcheck/rvkcheck.py [-p build/compile_commands.json]
+        [--config tools/rvkcheck/rvkcheck_config.json] [--root DIR]
+        [--json report.json] [-v]
+
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+from collections import namedtuple
+
+# ---------------------------------------------------------------------------
+# Effects
+
+YIELD, BLOCK, ALLOC = "yield", "block", "alloc"
+ALL_EFFECTS = frozenset((YIELD, BLOCK, ALLOC))
+
+ANNOTATION_EFFECTS = {
+    "RVK_MAY_YIELD": frozenset((YIELD,)),
+    "RVK_MAY_BLOCK": frozenset((BLOCK,)),
+    "RVK_MAY_ALLOC": frozenset((ALLOC,)),
+    "RVK_NO_YIELD": frozenset(),
+}
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+
+Token = namedtuple("Token", "kind value line")  # kind: id num str chr punct
+
+_ID_RE = re.compile(r"[A-Za-z_]\w*")
+_NUM_RE = re.compile(r"\.?\d(?:[\w.]|[eEpP][+-])*")
+_PUNCT_RE = re.compile(
+    r"->\*|<<=|>>=|\.\.\.|::|->|\+\+|--|<<|>>|<=|>=|==|!=|&&|\|\||\+=|-=|"
+    r"\*=|/=|%=|&=|\|=|\^=|##|."
+)
+_ALLOW_RE = re.compile(r"rvkcheck:allow\(([a-z,\s]+)\)")
+
+
+class SourceFile:
+    """One tokenized file: token stream + per-line suppressions."""
+
+    def __init__(self, path, text):
+        self.path = path
+        self.tokens = []
+        self.suppressions = {}  # line -> set of effects accepted there
+        self.comment_lines = set()  # lines wholly or partly comment
+        self._scan(text)
+
+    def _note_allow(self, comment, line):
+        m = _ALLOW_RE.search(comment)
+        if not m:
+            return
+        effects = {e.strip() for e in m.group(1).split(",")} & ALL_EFFECTS
+        if effects:
+            self.suppressions.setdefault(line, set()).update(effects)
+
+    def _scan(self, text):
+        i, n, line = 0, len(text), 1
+        at_line_start = True
+        toks = self.tokens
+        while i < n:
+            c = text[i]
+            if c == "\n":
+                line += 1
+                i += 1
+                at_line_start = True
+                continue
+            if c in " \t\r\f\v":
+                i += 1
+                continue
+            if c == "/" and text.startswith("//", i):
+                j = text.find("\n", i)
+                j = n if j < 0 else j
+                self._note_allow(text[i:j], line)
+                self.comment_lines.add(line)
+                i = j
+                continue
+            if c == "/" and text.startswith("/*", i):
+                j = text.find("*/", i + 2)
+                j = n - 2 if j < 0 else j
+                body = text[i : j + 2]
+                self._note_allow(body, line)
+                self.comment_lines.update(
+                    range(line, line + body.count("\n") + 1))
+                line += body.count("\n")
+                i = j + 2
+                continue
+            if c == "#" and at_line_start:
+                # Preprocessor logical line (with continuations).  Both
+                # branches of conditionals stay in the stream elsewhere;
+                # directives themselves are dropped.
+                while i < n:
+                    j = text.find("\n", i)
+                    if j < 0:
+                        i = n
+                        break
+                    if text[j - 1] == "\\" and j >= 1:
+                        line += 1
+                        i = j + 1
+                        continue
+                    i = j  # the newline itself is re-processed above
+                    break
+                continue
+            at_line_start = False
+            if c == '"':
+                # String literal (escape-aware; no raw strings in tree).
+                j = i + 1
+                while j < n and text[j] != '"':
+                    j += 2 if text[j] == "\\" else 1
+                toks.append(Token("str", text[i : j + 1], line))
+                i = j + 1
+                continue
+            if c == "'":
+                j = i + 1
+                while j < n and text[j] != "'":
+                    j += 2 if text[j] == "\\" else 1
+                toks.append(Token("chr", text[i : j + 1], line))
+                i = j + 1
+                continue
+            m = _ID_RE.match(text, i)
+            if m:
+                toks.append(Token("id", m.group(), line))
+                i = m.end()
+                continue
+            m = _NUM_RE.match(text, i)
+            if m:
+                toks.append(Token("num", m.group(), line))
+                i = m.end()
+                continue
+            m = _PUNCT_RE.match(text, i)
+            toks.append(Token("punct", m.group(), line))
+            i = m.end()
+
+    def allowed(self, line):
+        """Effects suppressed for a call on `line`: a marker on the same
+        line, or anywhere in the contiguous comment block directly above it
+        (so multi-line `// rvkcheck:allow(...): reason` comments work)."""
+        out = set(self.suppressions.get(line, ()))
+        k = line - 1
+        while k in self.comment_lines:
+            out |= self.suppressions.get(k, set())
+            k -= 1
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Function extraction
+
+class Function:
+    def __init__(self, qname, path, line, header):
+        self.qname = qname          # e.g. rvk::core::Engine::commit_frame
+        self.name = qname.rsplit("::", 1)[-1]
+        self.path = path
+        self.line = line
+        self.header = header
+        self.body = None            # token list (None: declaration only)
+        self.declared = None        # frozenset of effects, or None
+        self.trusted = None         # RVK_TRUSTED reason string, or None
+        # Computed by the effect pass:
+        self.direct = set()         # inferred from the body alone
+        self.effects = set()        # fixpoint over the call graph
+        self.calls = []             # CallSite list
+        self.regions = []           # (start_index, end_index) forbidden spans
+        self.locals = {}            # var name -> declared class-type name
+
+    def __repr__(self):
+        return "<fn %s>" % self.qname
+
+
+# recv: for member calls, the receiver identifier when it is a simple name
+# (`ready_.push` -> "ready_", `this->handoff` -> "this"); None for chains
+# and computed receivers.
+CallSite = namedtuple("CallSite", "name path member recv line index")
+
+_KEYWORDS = frozenset(
+    """if for while switch return sizeof alignof catch throw new delete
+    static_assert decltype noexcept defined alignas typeid co_await
+    co_yield co_return""".split()
+)
+
+_SCOPE_KEYWORDS = frozenset(("namespace", "class", "struct", "enum",
+                             "union", "template", "using", "typedef",
+                             "extern", "friend"))
+
+# SHOUTY identifiers are macros by convention (RVK_TRUSTED("..."),
+# RVK_CHECK_MSG(...)); never function-name candidates in declarations.
+_MACRO_RE = re.compile(r"^[A-Z][A-Z0-9_]*$")
+
+
+def _skip_balanced(toks, i, open_tok, close_tok):
+    """toks[i] is open_tok; returns index just past its match."""
+    depth = 0
+    n = len(toks)
+    while i < n:
+        v = toks[i].value
+        if v == open_tok:
+            depth += 1
+        elif v == close_tok:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def _skip_template_args(toks, i):
+    """toks[i] is '<'; returns index past the matching '>'.  Treats '>>' as
+    two closers (C++11)."""
+    depth, n = 0, len(toks)
+    while i < n:
+        v = toks[i].value
+        if v == "<":
+            depth += 1
+        elif v == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif v == ">>":
+            depth -= 2
+            if depth <= 0:
+                return i + 1
+        elif v in (";", "{"):
+            return i  # malformed / not a template-arg list: bail out
+        i += 1
+    return n
+
+
+ParseResult = namedtuple("ParseResult", "functions fields classes virtuals")
+
+
+def extract_functions(src):
+    """Returns (functions, fields, classes): Function objects (definitions
+    and annotated declarations), a {class_qname: {field: [type names]}}
+    table, and the set of class names defined in this file."""
+    toks = src.tokens
+    n = len(toks)
+    header = src.path.endswith((".hpp", ".h", ".hh", ".inl"))
+    scopes = []  # (kind, name, brace_depth_at_entry) kind: ns / cls
+    depth = 0
+    out = []
+    fields = {}
+    classes = set()
+    virtuals = set()  # names ever declared virtual/override/final
+    i = 0
+    while i < n:
+        t = toks[i]
+        v = t.value
+        if v == "}":
+            depth -= 1
+            while scopes and scopes[-1][2] > depth:
+                scopes.pop()
+            i += 1
+            continue
+        if v == "{":
+            depth += 1
+            i += 1
+            continue
+        if v == "namespace":
+            j = i + 1
+            parts = []
+            while j < n and (toks[j].kind == "id" or toks[j].value == "::"):
+                if toks[j].kind == "id":
+                    parts.append(toks[j].value)
+                j += 1
+            if j < n and toks[j].value == "{":
+                scopes.append(("ns", "::".join(parts) or "<anon>", depth + 1))
+                depth += 1
+                i = j + 1
+            else:
+                i = j  # alias / using-directive fragment
+            continue
+        if v == "enum":
+            # enum [class] Name [: type] { ... } ;  — skip wholesale.
+            j = i + 1
+            while j < n and toks[j].value not in ("{", ";"):
+                j += 1
+            if j < n and toks[j].value == "{":
+                j = _skip_balanced(toks, j, "{", "}")
+            i = j
+            continue
+        if v in ("class", "struct", "union"):
+            # Distinguish a type *definition* (push a scope) from forward
+            # declarations and elaborated specifiers.
+            j = i + 1
+            name = None
+            while j < n:
+                w = toks[j].value
+                if toks[j].kind == "id" and name is None:
+                    name = toks[j].value
+                    j += 1
+                    continue
+                if w == "<":
+                    j = _skip_template_args(toks, j)
+                    continue
+                if w == "{":
+                    scopes.append(("cls", name or "<anon>", depth + 1))
+                    if name:
+                        classes.add(name)
+                    depth += 1
+                    j += 1
+                    break
+                if w in (";", "=", ")", ",", ">"):
+                    break  # fwd decl, param, or type use
+                j += 1
+            i = j
+            continue
+        if v == "template":
+            i += 1
+            if i < n and toks[i].value == "<":
+                i = _skip_template_args(toks, i)
+            continue
+        # Generic declaration scan: collect until a depth-0 ';' or '{'.
+        decl_start = i
+        j = i
+        saw_assign = False
+        paren = 0
+        param_close = -1  # index past the ')' closing a candidate param list
+        fn_name_idx = -1
+        while j < n:
+            w = toks[j].value
+            if w == "(" :
+                if paren == 0 and fn_name_idx < 0 and j > decl_start and \
+                        toks[j - 1].kind == "id" and \
+                        toks[j - 1].value not in _KEYWORDS and \
+                        not _MACRO_RE.match(toks[j - 1].value):
+                    fn_name_idx = j - 1
+                    close = _skip_balanced(toks, j, "(", ")")
+                    param_close = close
+                    j = close
+                    continue
+                paren += 1
+            elif w == ")":
+                paren = max(0, paren - 1)
+            elif w == "=" and paren == 0:
+                saw_assign = True
+            elif w == "<" and paren == 0 and j > decl_start and \
+                    toks[j - 1].kind == "id":
+                # operator< would be caught below; treat as template args.
+                k = _skip_template_args(toks, j)
+                if k > j + 1:
+                    j = k
+                    continue
+            elif w == ";" and paren == 0:
+                break
+            elif w == "{" and paren == 0:
+                break
+            elif w == "}" and paren == 0:
+                break
+            j += 1
+        if j >= n:
+            break
+        terminator = toks[j].value
+        if terminator == "}":
+            i = j  # let the scope logic handle it
+            continue
+        decl = toks[decl_start:j]
+        annotations, trusted = _harvest_annotations(decl)
+        in_class = bool(scopes) and scopes[-1][0] == "cls" and \
+            depth == scopes[-1][2]
+        if in_class and fn_name_idx >= 0 and any(
+                t.kind == "id" and t.value in ("virtual", "override", "final")
+                for t in decl):
+            virtuals.add(toks[fn_name_idx].value)
+        if terminator == ";":
+            if annotations is not None or trusted is not None:
+                fn = _make_function(src, toks, decl_start, fn_name_idx,
+                                    scopes, header)
+                if fn is not None:
+                    fn.declared = annotations
+                    fn.trusted = trusted
+                    out.append(fn)
+            elif in_class and fn_name_idx < 0:
+                _record_field(fields, scopes, decl)
+            i = j + 1
+            continue
+        # terminator == '{': function body, aggregate initializer, or a
+        # construct we failed to classify.
+        if fn_name_idx < 0 or saw_assign or param_close < 0 or \
+                param_close > j:
+            if in_class and fn_name_idx < 0 and not saw_assign:
+                _record_field(fields, scopes, decl)  # `Type member_{};`
+            i = _skip_balanced(toks, j, "{", "}")
+            continue
+        # Constructor init lists and trailing specifiers live between
+        # param_close and j; the '{' at j is the body either way because the
+        # scan above tracked paren depth (init-list parens) — EXCEPT
+        # brace-init items (`member_{x}`), which the scan would have taken
+        # for the body.  Detect: body brace preceded by an identifier right
+        # after a ':' chain → brace init; skip it and keep scanning.
+        body_open = j
+        k = param_close
+        in_init = False
+        while k < body_open:
+            if toks[k].value == ":" and toks[k - 1].value == ")":
+                in_init = True
+            k += 1
+        if in_init and toks[body_open - 1].kind == "id":
+            # `: member_{v}, other_(w) { body }` — walk init items properly.
+            k = param_close
+            # find the ':' starting the init list
+            while k < n and toks[k].value != ":":
+                k += 1
+            k += 1
+            while k < n:
+                # item: qualified-id [template-args] ( ... ) | { ... }
+                while k < n and (toks[k].kind == "id" or
+                                 toks[k].value in ("::", ",")):
+                    k += 1
+                if k < n and toks[k].value == "<":
+                    k = _skip_template_args(toks, k)
+                if k >= n or toks[k].value not in ("(", "{"):
+                    break
+                opener = toks[k].value
+                closer = ")" if opener == "(" else "}"
+                k = _skip_balanced(toks, k, opener, closer)
+                if k < n and toks[k].value == ",":
+                    k += 1
+                    continue
+                break
+            if k < n and toks[k].value == "{":
+                body_open = k
+            # else: leave body_open as found (best effort)
+        body_end = _skip_balanced(toks, body_open, "{", "}")
+        fn = _make_function(src, toks, decl_start, fn_name_idx, scopes,
+                            header)
+        if fn is not None:
+            fn.declared = annotations
+            fn.trusted = trusted
+            fn.body = toks[body_open + 1 : body_end - 1]
+            out.append(fn)
+        i = body_end
+    return ParseResult(out, fields, classes, virtuals)
+
+
+_NOT_FIELD_KEYWORDS = frozenset(("using", "typedef", "friend", "operator",
+                                 "static_assert", "public", "private",
+                                 "protected", "template"))
+
+
+def _record_field(fields, scopes, decl):
+    """Parses a class-scope member declaration into (name, type candidates).
+
+    Type candidates are the last components of the declared type and, for
+    wrappers like unique_ptr<T>/vector<T>, the first template argument —
+    resolution tries each (`stack_->release()` should find Stack::release).
+    """
+    if any(t.kind == "id" and t.value in _NOT_FIELD_KEYWORDS for t in decl):
+        return
+    # Field name: last identifier whose successor is one of ; = [ { (end of
+    # the collected decl counts as the terminator position).
+    name_idx = -1
+    for k, t in enumerate(decl):
+        if t.kind != "id":
+            continue
+        nxt = decl[k + 1].value if k + 1 < len(decl) else ";"
+        if nxt in ("=", "[", "{") or k + 1 >= len(decl):
+            name_idx = k
+    if name_idx <= 0:
+        return
+    name = decl[name_idx].value
+    types = []
+    k = name_idx - 1
+    while k >= 0 and decl[k].value in ("*", "&", "const"):
+        k -= 1
+    if k >= 0 and decl[k].value == ">":
+        # walk back to the matching '<'
+        depth = 0
+        close = k
+        while k >= 0:
+            if decl[k].value == ">":
+                depth += 1
+            elif decl[k].value == "<":
+                depth -= 1
+                if depth == 0:
+                    break
+            k -= 1
+        if k > 0 and decl[k - 1].kind == "id":
+            types.append(decl[k - 1].value)
+        # first template argument's last identifier (unique_ptr<rt::VThread>)
+        m, last_id = k + 1, None
+        while m < close and decl[m].value != ",":
+            if decl[m].kind == "id":
+                last_id = decl[m].value
+            m += 1
+        if last_id:
+            types.append(last_id)
+    elif k >= 0 and decl[k].kind == "id":
+        types.append(decl[k].value)
+    if types:
+        cls = "::".join(s[1] for s in scopes if s[1] != "<anon>")
+        fields.setdefault(cls, {})[name] = types
+
+
+def _harvest_annotations(decl_toks):
+    """Returns (declared_effect_set_or_None, trusted_reason_or_None)."""
+    declared = None
+    trusted = None
+    for idx, t in enumerate(decl_toks):
+        if t.kind != "id":
+            continue
+        if t.value in ANNOTATION_EFFECTS:
+            declared = (declared or frozenset()) | ANNOTATION_EFFECTS[t.value]
+        elif t.value == "RVK_TRUSTED":
+            # Adjacent string literals concatenate (clang-format wraps long
+            # reasons across lines).
+            parts = []
+            k = idx + 2
+            while k < len(decl_toks) and decl_toks[k].kind == "str":
+                parts.append(decl_toks[k].value.strip('"'))
+                k += 1
+            trusted = "".join(parts) or "(unspecified)"
+    return declared, trusted
+
+
+def _make_function(src, toks, decl_start, name_idx, scopes, header):
+    if name_idx < 0:
+        return None
+    # Walk the qualified-id backwards: id (:: id)* [~id]
+    parts = [toks[name_idx].value]
+    k = name_idx - 1
+    while k - 1 >= decl_start and toks[k].value == "::" and \
+            toks[k - 1].kind == "id":
+        parts.insert(0, toks[k - 1].value)
+        k -= 2
+    if k >= decl_start and toks[k].value == "~":
+        parts[-1] = "~" + parts[-1] if len(parts) == 1 else parts[-1]
+    if parts[-1] in _SCOPE_KEYWORDS or parts[-1] in _KEYWORDS:
+        return None
+    prefix = [s[1] for s in scopes if s[1] != "<anon>"]
+    qname = "::".join(prefix + parts)
+    return Function(qname, src.path, toks[name_idx].line, header)
+
+
+# ---------------------------------------------------------------------------
+# Body analysis: calls, regions, direct effects
+
+def analyze_body(fn, src, cfg, classes):
+    toks = fn.body
+    n = len(toks)
+    calls = []
+    regions = []  # (start_idx, end_idx)
+    region_stack = []  # brace depth at which each active guard lives
+    local_types = {}
+    depth = 0
+    i = 0
+    while i < n:
+        t = toks[i]
+        v = t.value
+        if v == "{":
+            depth += 1
+        elif v == "}":
+            depth -= 1
+            while region_stack and region_stack[-1][0] > depth:
+                start = region_stack.pop()[1]
+                regions.append((start, i))
+        elif t.kind == "id":
+            if v == "ForbiddenRegionGuard":
+                # `rt::ForbiddenRegionGuard region(t);` — forbidden from
+                # here to the end of the enclosing block.
+                region_stack.append((depth, i))
+            elif v == "new":
+                calls.append(CallSite("operator new", ("new",), False, None,
+                                      t.line, i))
+            elif i + 1 < n and toks[i + 1].value == "(" and \
+                    v not in _KEYWORDS:
+                path = [v]
+                k = i - 1
+                while k - 1 >= 0 and toks[k].value == "::" and \
+                        toks[k - 1].kind == "id":
+                    path.insert(0, toks[k - 1].value)
+                    k -= 2
+                member = k >= 0 and toks[k].value in (".", "->")
+                recv = None
+                if member and k - 1 >= 0 and toks[k - 1].kind == "id":
+                    recv = toks[k - 1].value
+                calls.append(CallSite(v, tuple(path), member, recv,
+                                      t.line, i))
+            elif v in cfg.alloc_identifiers:
+                # Allocating helpers normally followed by template args
+                # (std::make_unique<T>(...)), which hides the '(' from the
+                # pattern above.
+                calls.append(CallSite(v, (v,), False, None, t.line, i))
+            if v in classes and (i == 0 or toks[i - 1].value != "::"):
+                # Local declaration `ClassName [<...>] [&*] var [=({;]` —
+                # records var -> ClassName so member calls on it resolve.
+                j = i + 1
+                if j < n and toks[j].value == "<":
+                    j = _skip_template_args(toks, j)
+                while j < n and toks[j].value in ("&", "*", "const"):
+                    j += 1
+                if j + 1 < n and toks[j].kind == "id" and \
+                        toks[j + 1].value in ("=", "(", "{", ";"):
+                    local_types[toks[j].value] = v
+        i += 1
+    while region_stack:
+        regions.append((region_stack.pop()[1], n))
+    fn.calls = calls
+    fn.regions = regions
+    fn.locals = local_types
+
+
+def in_region(fn, index):
+    return any(start <= index < end for start, end in fn.regions)
+
+
+# ---------------------------------------------------------------------------
+# Project model
+
+class Project:
+    def __init__(self, cfg, root):
+        self.cfg = cfg
+        self.root = root
+        self.files = {}       # path -> SourceFile
+        self.functions = []   # all Function definitions + annotated decls
+        self.by_name = {}     # unqualified name -> [Function]
+        self.fields = {}      # class qname -> {field name: [type names]}
+        self.field_owners = {}  # field name -> set of type-name candidates
+        self.classes = set()  # class names defined anywhere in scope
+        self.virtuals = set()  # method names ever declared virtual
+        self.warnings = []
+
+    def load(self, paths):
+        for p in sorted(set(paths)):
+            try:
+                with open(p, encoding="utf-8", errors="replace") as f:
+                    text = f.read()
+            except OSError as e:
+                self.warnings.append("unreadable: %s (%s)" % (p, e))
+                continue
+            src = SourceFile(os.path.relpath(p, self.root), text)
+            self.files[src.path] = src
+            parsed = extract_functions(src)
+            self.functions.extend(parsed.functions)
+            self.classes |= parsed.classes
+            self.virtuals |= parsed.virtuals
+            for cls, members in parsed.fields.items():
+                self.fields.setdefault(cls, {}).update(members)
+                for name, types in members.items():
+                    self.field_owners.setdefault(name, set()).update(types)
+        # Merge annotated declarations into their definitions.
+        defs = {}
+        decls = []
+        for fn in self.functions:
+            if fn.body is not None:
+                defs.setdefault(fn.qname.rsplit("::", 1)[-1], []).append(fn)
+            else:
+                decls.append(fn)
+        merged = [fn for fn in self.functions if fn.body is not None]
+        for d in decls:
+            targets = [f for f in defs.get(d.name, [])
+                       if _qname_compatible(f.qname, d.qname)]
+            if targets:
+                for f in targets:
+                    if d.declared is not None:
+                        f.declared = (f.declared or frozenset()) | d.declared
+                    if d.trusted is not None and f.trusted is None:
+                        f.trusted = d.trusted
+            else:
+                merged.append(d)  # declaration-only (annotated extern)
+        self.functions = merged
+        for fn in self.functions:
+            self.by_name.setdefault(fn.name, []).append(fn)
+
+    def resolve(self, site, caller=None):
+        """Candidate Functions for a call site (possibly empty).
+
+        Precision ladder: explicit qualification > receiver type (local
+        declaration, then the caller's class fields, then any class's
+        same-named field) > the caller's own class, then enclosing
+        namespaces > the union of all same-named functions.  The final
+        union is the conservative fallback that covers virtual dispatch."""
+        cands = self.by_name.get(site.name, [])
+        if not cands:
+            return cands
+        if len(site.path) > 1:
+            suffix = "::".join(site.path)
+            scoped = [f for f in cands if f.qname.endswith(suffix)]
+            if scoped:
+                return scoped
+            return cands
+        if site.name in self.virtuals:
+            # Virtual dispatch: any override is reachable, so narrowing to
+            # the static type would hide the overriding implementations.
+            return cands
+        if caller is not None and site.member and site.recv is not None:
+            if site.recv == "this":
+                hit = self._scoped_lookup(cands, caller, site.name)
+                if hit:
+                    return hit
+            else:
+                types = []
+                t = caller.locals.get(site.recv)
+                if t:
+                    types = [t]
+                if not types and "::" in caller.qname:
+                    cls = caller.qname.rsplit("::", 1)[0]
+                    for cq, members in self.fields.items():
+                        if _qname_compatible(cq, cls) and \
+                                site.recv in members:
+                            types = members[site.recv]
+                            break
+                if not types:
+                    types = sorted(self.field_owners.get(site.recv, ()))
+                typed = [f for f in cands
+                         if any(f.qname.endswith(T + "::" + site.name)
+                                for T in types)]
+                if typed:
+                    return typed
+        if caller is not None and not site.member:
+            hit = self._scoped_lookup(cands, caller, site.name)
+            if hit:
+                return hit
+        return cands
+
+    def _scoped_lookup(self, cands, caller, name):
+        """Match `name` against the caller's class, then each enclosing
+        namespace, innermost first."""
+        parts = caller.qname.split("::")[:-1]
+        while parts:
+            want = "::".join(parts) + "::" + name
+            hit = [f for f in cands if f.qname == want]
+            if hit:
+                return hit
+            parts.pop()
+        return []
+
+
+def _qname_compatible(def_qname, decl_qname):
+    """True when a declaration's qualified name can refer to the same
+    function as a definition's (one is a suffix-path of the other)."""
+    a, b = def_qname.split("::"), decl_qname.split("::")
+    short, long_ = (a, b) if len(a) <= len(b) else (b, a)
+    return long_[-len(short):] == short
+
+
+# ---------------------------------------------------------------------------
+# Effect computation
+
+def compute_effects(project):
+    cfg = project.cfg
+    for fn in project.functions:
+        if fn.body is None:
+            continue
+        src = project.files[fn.path]
+        analyze_body(fn, src, cfg, project.classes)
+        for site in fn.calls:
+            eff = direct_site_effects(site, cfg, project,
+                                      fn) - src.allowed(site.line)
+            fn.direct |= eff
+        fn.effects = set(fn.direct)
+
+    changed = True
+    while changed:
+        changed = False
+        for fn in project.functions:
+            if fn.body is None:
+                continue
+            src = project.files[fn.path]
+            acc = set(fn.effects)
+            for site in fn.calls:
+                contrib = set()
+                for g in project.resolve(site, fn):
+                    contrib |= summary(g)
+                contrib -= src.allowed(site.line)
+                acc |= contrib
+            if acc != fn.effects:
+                fn.effects = acc
+                changed = True
+
+
+def summary(fn):
+    """The effect set a CALLER sees for `fn`."""
+    if fn.trusted is not None:
+        return frozenset()
+    if fn.declared is not None:
+        return fn.declared
+    if fn.body is None:
+        return frozenset()
+    return fn.effects
+
+
+def direct_site_effects(site, cfg, project=None, caller=None):
+    """Effects inferred from the call site itself (builtins).
+
+    The member-name table (push_back, insert, ...) models the std
+    containers; it is skipped when the call resolves to a project function,
+    whose own computed effects are then authoritative (WaitQueue::push is
+    intrusive and must not inherit std::vector's ALLOC)."""
+    eff = set()
+    if site.name == "operator new":
+        eff.add(ALLOC)
+    builtin = cfg.builtin_effects.get(site.name)
+    if builtin:
+        eff |= builtin
+    resolves = project is not None and \
+        bool(project.resolve(site, caller))
+    if site.member and site.name in cfg.alloc_members and not resolves:
+        eff.add(ALLOC)
+    if not site.member and site.name in cfg.alloc_identifiers and \
+            not resolves:
+        eff.add(ALLOC)
+    return eff
+
+
+# ---------------------------------------------------------------------------
+# Rules
+
+class Finding(namedtuple("Finding", "rule path line function message")):
+    def key(self):
+        return (self.rule, self.path, self.line, self.function, self.message)
+
+
+def witness_chain(project, fn, effect, _seen=None):
+    """Human-readable shortest-ish path from fn to a source of `effect`."""
+    seen = _seen or set()
+    if fn.qname in seen:
+        return [fn.qname + " (cycle)"]
+    seen = seen | {fn.qname}
+    if effect in fn.direct:
+        return [fn.qname]
+    src = project.files.get(fn.path)
+    for site in fn.calls:
+        if src is not None and effect in src.allowed(site.line):
+            continue
+        for g in project.resolve(site, fn):
+            if effect in summary(g):
+                if g.trusted is not None or g.declared is not None or \
+                        g.body is None:
+                    return [fn.qname, g.qname]
+                tail = witness_chain(project, g, effect, seen)
+                if tail:
+                    return [fn.qname] + tail
+    return [fn.qname]
+
+
+def check_forbidden_regions(project, findings):
+    cfg = project.cfg
+    roots = cfg.forbidden_roots
+    for fn in project.functions:
+        if fn.body is None:
+            continue
+        src = project.files[fn.path]
+        is_root = any(_qname_compatible(fn.qname, r) for r in roots)
+        if not is_root and not fn.regions:
+            continue
+        for site in fn.calls:
+            if not (is_root or in_region(fn, site.index)):
+                continue
+            eff = set(direct_site_effects(site, cfg, project, fn))
+            chains = {}
+            for g in project.resolve(site, fn):
+                for e in summary(g):
+                    eff.add(e)
+                    chains.setdefault(e, g)
+            eff -= src.allowed(site.line)
+            for e in sorted(eff):
+                where = "forbidden root" if is_root else "ForbiddenRegionGuard scope"
+                via = ""
+                g = chains.get(e)
+                if g is not None:
+                    chain = witness_chain(project, g, e)
+                    via = " via " + " -> ".join(chain)
+                findings.append(Finding(
+                    "forbidden-region", fn.path, site.line, fn.qname,
+                    "call to '%s' may %s inside a %s%s"
+                    % (site.name, e, where, via)))
+
+
+def check_fiber_pairing(project, findings):
+    cfg = project.cfg
+    for fn in project.functions:
+        if fn.body is None:
+            continue
+        if not any(fn.path.startswith(p) for p in cfg.fiber_scopes):
+            continue
+        pending_start = None  # index of an unmatched start
+        saw_any = False
+        swap_between = 0
+        for site in fn.calls:
+            if site.name == "__sanitizer_start_switch_fiber":
+                saw_any = True
+                if pending_start is not None:
+                    findings.append(Finding(
+                        "fiber-pairing", fn.path, site.line, fn.qname,
+                        "second __sanitizer_start_switch_fiber before the "
+                        "previous one was finished"))
+                pending_start = site
+                swap_between = 0
+            elif site.name == "__sanitizer_finish_switch_fiber":
+                saw_any = True
+                if pending_start is None:
+                    if not any(_qname_compatible(fn.qname, a)
+                               for a in cfg.fiber_finish_only):
+                        findings.append(Finding(
+                            "fiber-pairing", fn.path, site.line, fn.qname,
+                            "__sanitizer_finish_switch_fiber with no "
+                            "preceding start (only the first-arrival "
+                            "functions listed in the config may do this)"))
+                else:
+                    pending_start = None
+            elif site.name == "swapcontext":
+                saw_any = True
+                if pending_start is not None:
+                    swap_between += 1
+                else:
+                    findings.append(Finding(
+                        "fiber-pairing", fn.path, site.line, fn.qname,
+                        "swapcontext outside a start/finish_switch_fiber "
+                        "bracket (google/sanitizers#189: ASan must be told "
+                        "about every fiber switch)"))
+        if pending_start is not None:
+            findings.append(Finding(
+                "fiber-pairing", fn.path, pending_start.line, fn.qname,
+                "__sanitizer_start_switch_fiber is not matched by a finish "
+                "on the paths through this function (including the kFinish "
+                "teardown variant)"))
+        del saw_any, swap_between
+
+
+def check_tls_discipline(project, findings):
+    cfg = project.cfg
+    for fn in project.functions:
+        if fn.body is None or not fn.header:
+            continue
+        allow = cfg.tls_allowlist.get_reason(fn.qname)
+        if allow is not None:
+            continue
+        for tok in fn.body:
+            if tok.kind == "id" and tok.value in cfg.tls_globals:
+                findings.append(Finding(
+                    "tls-out-of-line", fn.path, tok.line, fn.qname,
+                    "header-defined (inline-eligible) function reads the "
+                    "scheduler TLS '%s' directly; route it through the "
+                    "out-of-line accessors (CLAUDE.md: GCC may cache the "
+                    "TLS-derived address across swapcontext)" % tok.value))
+                break
+
+
+def check_annotation_soundness(project, findings):
+    for fn in project.functions:
+        if fn.body is None or fn.declared is None:
+            continue
+        if fn.trusted is not None:
+            continue  # the hatch overrides the declaration
+        missing = fn.effects - set(fn.declared)
+        for e in sorted(missing):
+            chain = witness_chain(project, fn, e)
+            findings.append(Finding(
+                "annotation-soundness", fn.path, fn.line, fn.qname,
+                "declared effects {%s} omit computed effect '%s' "
+                "(stale annotation; path: %s)"
+                % (",".join(sorted(fn.declared)) or "none", e,
+                   " -> ".join(chain))))
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+
+class TlsAllowlist:
+    def __init__(self, mapping):
+        self.mapping = mapping  # qname-suffix -> reason
+
+    def get_reason(self, qname):
+        for suffix, reason in self.mapping.items():
+            if _qname_compatible(qname, suffix):
+                return reason
+        return None
+
+
+class Config:
+    def __init__(self, raw):
+        self.scope_dirs = raw.get("scope_dirs", ["src"])
+        self.forbidden_roots = raw.get("forbidden_roots", [])
+        self.fiber_scopes = raw.get("fiber_scopes", ["src/rt"])
+        self.fiber_finish_only = raw.get("fiber_finish_only", [])
+        self.tls_globals = frozenset(raw.get("tls_globals", []))
+        self.tls_allowlist = TlsAllowlist(raw.get("tls_header_allowlist", {}))
+        self.builtin_effects = {
+            name: frozenset(effects)
+            for name, effects in raw.get("builtin_effects", {}).items()
+        }
+        self.alloc_members = frozenset(raw.get("alloc_member_calls", []))
+        self.alloc_identifiers = frozenset(raw.get("alloc_identifiers", []))
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+def collect_inputs(db_path, cfg, root):
+    try:
+        with open(db_path, encoding="utf-8") as f:
+            db = json.load(f)
+    except OSError as e:
+        sys.stderr.write("rvkcheck: cannot read compile database %s: %s\n"
+                         % (db_path, e))
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        sys.stderr.write("rvkcheck: malformed compile database %s: %s\n"
+                         % (db_path, e))
+        sys.exit(2)
+    scope_abs = [os.path.join(root, d) for d in cfg.scope_dirs]
+    paths = set()
+    for entry in db:
+        f = entry.get("file", "")
+        if not os.path.isabs(f):
+            f = os.path.normpath(os.path.join(entry.get("directory", ""), f))
+        f = os.path.realpath(f)
+        if any(f.startswith(os.path.realpath(d) + os.sep) for d in scope_abs):
+            paths.add(f)
+    if not paths:
+        sys.stderr.write(
+            "rvkcheck: compile database %s has no entries under %s\n"
+            % (db_path, ", ".join(cfg.scope_dirs)))
+        sys.exit(2)
+    for d in scope_abs:
+        for ext in ("hpp", "h", "hh", "inl"):
+            paths.update(os.path.realpath(p) for p in
+                         glob.glob(os.path.join(d, "**", "*." + ext),
+                                   recursive=True))
+    return sorted(paths)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    default_cfg = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "rvkcheck_config.json")
+    ap.add_argument("-p", "--compile-db", default=None,
+                    help="compile_commands.json (or a directory holding "
+                         "one); default: ./compile_commands.json, then "
+                         "./build/compile_commands.json")
+    ap.add_argument("--config", default=default_cfg)
+    ap.add_argument("--root", default=None,
+                    help="project root (default: two levels above the "
+                         "config file)")
+    ap.add_argument("--json", dest="json_out", default=None,
+                    help="write the machine-readable report here")
+    ap.add_argument("-v", "--verbose", action="store_true")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.config, encoding="utf-8") as f:
+            cfg = Config(json.load(f))
+    except (OSError, json.JSONDecodeError, TypeError, ValueError) as e:
+        sys.stderr.write("rvkcheck: bad config %s: %s\n" % (args.config, e))
+        return 2
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(args.config))))
+
+    db = args.compile_db
+    if db is None:
+        for cand in ("compile_commands.json",
+                     os.path.join("build", "compile_commands.json")):
+            cand = os.path.join(root, cand)
+            if os.path.exists(cand):
+                db = cand
+                break
+        if db is None:
+            sys.stderr.write(
+                "rvkcheck: no compile_commands.json found (configure with "
+                "CMAKE_EXPORT_COMPILE_COMMANDS=ON, or pass -p)\n")
+            return 2
+    if os.path.isdir(db):
+        db = os.path.join(db, "compile_commands.json")
+
+    project = Project(cfg, root)
+    project.load(collect_inputs(db, cfg, root))
+    compute_effects(project)
+
+    findings = []
+    check_forbidden_regions(project, findings)
+    check_fiber_pairing(project, findings)
+    check_tls_discipline(project, findings)
+    check_annotation_soundness(project, findings)
+    findings = sorted(set(f.key() for f in findings))
+    findings = [Finding(*k) for k in findings]
+
+    suppressions = []
+    for path, src in sorted(project.files.items()):
+        for line, effects in sorted(src.suppressions.items()):
+            suppressions.append({"file": path, "line": line,
+                                 "effects": sorted(effects)})
+    trusted = [{"function": fn.qname, "file": fn.path, "line": fn.line,
+                "reason": fn.trusted}
+               for fn in sorted(project.functions, key=lambda f: f.qname)
+               if fn.trusted is not None]
+
+    report = {
+        "tool": "rvkcheck",
+        "root": root,
+        "compile_db": os.path.abspath(db),
+        "findings": [f._asdict() for f in findings],
+        "trusted": trusted,
+        "suppressions": suppressions,
+        "stats": {
+            "files": len(project.files),
+            "functions": sum(1 for f in project.functions
+                             if f.body is not None),
+            "annotated": sum(1 for f in project.functions
+                             if f.declared is not None),
+            "forbidden_regions": sum(len(f.regions)
+                                     for f in project.functions),
+            "warnings": project.warnings,
+        },
+    }
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+
+    if args.verbose:
+        st = report["stats"]
+        sys.stderr.write(
+            "rvkcheck: %(files)d files, %(functions)d functions "
+            "(%(annotated)d annotated), %(forbidden_regions)d forbidden "
+            "regions\n" % st)
+        for t in trusted:
+            sys.stderr.write("  trusted: %s — %s\n"
+                             % (t["function"], t["reason"]))
+        for s in suppressions:
+            sys.stderr.write("  allow(%s): %s:%d\n"
+                             % (",".join(s["effects"]), s["file"], s["line"]))
+    for f in findings:
+        sys.stderr.write("%s:%d: [%s] %s (in %s)\n"
+                         % (f.path, f.line, f.rule, f.message, f.function))
+    if findings:
+        sys.stderr.write("rvkcheck: %d finding(s)\n" % len(findings))
+        return 1
+    sys.stderr.write("rvkcheck: clean (%d functions, %d forbidden regions, "
+                     "%d trusted, %d suppressions)\n"
+                     % (report["stats"]["functions"],
+                        report["stats"]["forbidden_regions"], len(trusted),
+                        len(suppressions)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

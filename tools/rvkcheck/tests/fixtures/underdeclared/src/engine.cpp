@@ -1,0 +1,25 @@
+// Forbidden root doing only forbidden-safe work: plain field writes and a
+// call to a NO_YIELD-declared function.
+#include "sched.hpp"
+
+namespace eng {
+
+struct Engine {
+  int depth_;
+  RVK_NO_YIELD void commit(Sched* s);
+  // SEEDED VIOLATION: declared effect-free but the body yields.
+  RVK_NO_YIELD void poke(Sched* s);
+};
+
+void Engine::commit(Sched* s) {
+  depth_ = 0;
+  s->make_runnable(1);
+}
+
+}  // namespace eng
+
+namespace eng {
+void Engine::poke(Sched* s) {
+  s->yield_point();
+}
+}  // namespace eng

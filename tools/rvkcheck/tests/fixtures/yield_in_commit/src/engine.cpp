@@ -1,0 +1,18 @@
+// Forbidden root doing only forbidden-safe work: plain field writes and a
+// call to a NO_YIELD-declared function.
+#include "sched.hpp"
+
+namespace eng {
+
+struct Engine {
+  int depth_;
+  void commit(Sched* s);
+};
+
+void Engine::commit(Sched* s) {
+  depth_ = 0;
+  s->yield_point();  // SEEDED VIOLATION: yield inside a forbidden root
+  s->make_runnable(1);
+}
+
+}  // namespace eng

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Run rvkcheck against one mutation fixture and check the verdict.
+
+Each fixture directory is a miniature project:
+
+    <fixture>/src/...      sources (never compiled; only parsed by rvkcheck)
+    <fixture>/config.json  rvkcheck configuration scoped to the fixture
+    <fixture>/expect.json  either {"clean": true} or {"rules": [<rule>, ...]}
+
+A compile database is synthesised into a temporary directory (rvkcheck only
+needs it for TU discovery; the commands are never executed).  The test
+passes when:
+
+  * a clean fixture produces exit 0 and zero findings, or
+  * a violation fixture produces exit 1 and at least one finding for every
+    expected rule.
+
+Usage: run_fixture_test.py <fixture-dir>
+Exit: 0 pass, 1 fail.
+"""
+
+import glob
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+RVKCHECK = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir, "rvkcheck.py")
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.stderr.write(__doc__)
+        return 1
+    fixture = os.path.abspath(sys.argv[1])
+    with open(os.path.join(fixture, "expect.json"), encoding="utf-8") as f:
+        expect = json.load(f)
+
+    sources = sorted(glob.glob(os.path.join(fixture, "src", "**", "*.cpp"),
+                               recursive=True))
+    if not sources:
+        sys.stderr.write("fixture has no sources: %s\n" % fixture)
+        return 1
+
+    with tempfile.TemporaryDirectory(prefix="rvkcheck_fixture_") as tmp:
+        db = [{"directory": fixture,
+               "file": src,
+               "command": "c++ -c " + src}
+              for src in sources]
+        db_path = os.path.join(tmp, "compile_commands.json")
+        with open(db_path, "w", encoding="utf-8") as f:
+            json.dump(db, f)
+        report_path = os.path.join(tmp, "report.json")
+
+        proc = subprocess.run(
+            [sys.executable, RVKCHECK,
+             "-p", db_path,
+             "--config", os.path.join(fixture, "config.json"),
+             "--root", fixture,
+             "--json", report_path],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+
+        try:
+            with open(report_path, encoding="utf-8") as f:
+                report = json.load(f)
+        except OSError:
+            sys.stderr.write("rvkcheck produced no report (exit %d):\n%s\n"
+                             % (proc.returncode, proc.stdout))
+            return 1
+
+    rules_found = sorted({f["rule"] for f in report["findings"]})
+
+    if expect.get("clean"):
+        if proc.returncode != 0 or report["findings"]:
+            sys.stderr.write(
+                "expected a clean run, got exit %d with findings %s:\n%s\n"
+                % (proc.returncode, rules_found, proc.stdout))
+            return 1
+        print("PASS %s: clean (%d functions)"
+              % (os.path.basename(fixture), report["stats"]["functions"]))
+        return 0
+
+    missing = [r for r in expect["rules"] if r not in rules_found]
+    if proc.returncode != 1 or missing:
+        sys.stderr.write(
+            "expected exit 1 with rules %s, got exit %d with %s:\n%s\n"
+            % (expect["rules"], proc.returncode, rules_found, proc.stdout))
+        return 1
+    print("PASS %s: detected %s" % (os.path.basename(fixture), rules_found))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

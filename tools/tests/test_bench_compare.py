@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py's comparison and failure modes.
+
+Covers the contract CI leans on: clean exit on within-threshold results,
+exit 1 naming the benchmark on a regression, and exit 2 with a clear
+one-line message (no stack trace) on malformed JSON, unreadable files,
+missing keys, and a baseline without a "benchmarks" key.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+BENCH_COMPARE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             os.pardir, "bench_compare.py")
+
+
+def bench_json(name="rvk_bench", real_time=100.0, unit="ns", **extra):
+    entry = {"name": name, "real_time": real_time, "time_unit": unit,
+             "run_type": "iteration"}
+    entry.update(extra)
+    return {"benchmarks": [entry]}
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory(prefix="bench_compare_test_")
+        self.addCleanup(self.tmp.cleanup)
+
+    def path(self, name, content):
+        p = os.path.join(self.tmp.name, name)
+        with open(p, "w") as f:
+            f.write(content if isinstance(content, str)
+                    else json.dumps(content))
+        return p
+
+    def run_tool(self, *argv):
+        return subprocess.run([sys.executable, BENCH_COMPARE, *argv],
+                              stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                              text=True)
+
+    def test_within_threshold_passes(self):
+        results = self.path("r.json", bench_json(real_time=150.0))
+        base = self.path("b.json", {"benchmarks": {"rvk_bench": 100.0}})
+        proc = self.run_tool(results, "--baseline", base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("within threshold", proc.stdout)
+
+    def test_regression_fails_naming_benchmark(self):
+        results = self.path("r.json", bench_json(real_time=500.0))
+        base = self.path("b.json", {"benchmarks": {"rvk_bench": 100.0}})
+        proc = self.run_tool(results, "--baseline", base)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("rvk_bench", proc.stderr)
+
+    def test_trailing_footer_tolerated(self):
+        doc = json.dumps(bench_json()) + "\nExpected shape: flat\n"
+        results = self.path("r.json", doc)
+        base = self.path("b.json", {"benchmarks": {"rvk_bench": 100.0}})
+        proc = self.run_tool(results, "--baseline", base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def assert_clean_error(self, proc, *needles):
+        self.assertEqual(proc.returncode, 2, proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+        self.assertTrue(proc.stderr.startswith("bench_compare:"), proc.stderr)
+        for needle in needles:
+            self.assertIn(needle, proc.stderr)
+
+    def test_malformed_results_json(self):
+        results = self.path("r.json", "{not json")
+        base = self.path("b.json", {"benchmarks": {}})
+        proc = self.run_tool(results, "--baseline", base)
+        self.assert_clean_error(proc, "malformed JSON", "r.json")
+
+    def test_missing_results_file(self):
+        base = self.path("b.json", {"benchmarks": {}})
+        proc = self.run_tool(os.path.join(self.tmp.name, "absent.json"),
+                             "--baseline", base)
+        self.assert_clean_error(proc, "absent.json")
+
+    def test_benchmark_missing_real_time_names_benchmark(self):
+        doc = {"benchmarks": [{"name": "rvk_bench", "run_type": "iteration"}]}
+        results = self.path("r.json", doc)
+        base = self.path("b.json", {"benchmarks": {"rvk_bench": 100.0}})
+        proc = self.run_tool(results, "--baseline", base)
+        self.assert_clean_error(proc, "rvk_bench", "real_time")
+
+    def test_malformed_baseline_json(self):
+        results = self.path("r.json", bench_json())
+        base = self.path("b.json", "][")
+        proc = self.run_tool(results, "--baseline", base)
+        self.assert_clean_error(proc, "malformed JSON", "b.json")
+
+    def test_baseline_missing_benchmarks_key(self):
+        results = self.path("r.json", bench_json())
+        base = self.path("b.json", {"_comment": "oops"})
+        proc = self.run_tool(results, "--baseline", base)
+        self.assert_clean_error(proc, "benchmarks", "b.json")
+
+    def test_missing_baseline_file(self):
+        results = self.path("r.json", bench_json())
+        proc = self.run_tool(results, "--baseline",
+                             os.path.join(self.tmp.name, "nope.json"))
+        self.assert_clean_error(proc, "nope.json")
+
+    def test_absent_benchmark_reported_not_fatal(self):
+        # Documented contract: baseline entries not measured are reported
+        # but never fail the run.
+        results = self.path("r.json", bench_json())
+        base = self.path("b.json", {"benchmarks": {"rvk_bench": 100.0,
+                                                   "rvk_other": 50.0}})
+        proc = self.run_tool(results, "--baseline", base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("absent", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
