@@ -1,0 +1,172 @@
+// Monitor storage at object scale (DESIGN.md §13): what a compact lock
+// word costs in time along the free→thin→biased→inflated→deflated cycle,
+// and what it saves in space when most objects never see contention.
+//
+//  * LockWordBiasedReacquire — the folded fast path: a released word is
+//                              biased to its last owner, so re-acquire is
+//                              one load+compare (the ThinLock floor)
+//  * LockWordInflateDeflate  — the full cycle every iteration: thin hold,
+//                              inflate on demand (Object.wait-style heavy()
+//                              access, adopting the thin owner), release,
+//                              opportunistic deflation back to biased.
+//                              Prices the fat-monitor materialise/destroy
+//                              pair that the fast path amortises away
+//  * ObjectSyncBiased        — engine section on a HeapObject: monitor_of
+//                              resolves the object's lock word, then the
+//                              biased grant + lazy frame take over.  The
+//                              object carries no monitor until first sync
+//  * LockWordBytesPerObject  — the space claim.  N lock words, every
+//                              kContendedStride-th inflated to a live
+//                              RevocableMonitor; reported "time" is bytes
+//                              of monitor state per object (manual-time
+//                              encoding, 1 ns == 1 byte) so bench_compare
+//                              can gate the memory ratio like any other
+//                              series
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/revocable_monitor.hpp"
+#include "heap/heap.hpp"
+#include "monitor/lock_word.hpp"
+#include "monitor/monitor_table.hpp"
+#include "monitor/thin_lock.hpp"
+#include "rt/scheduler.hpp"
+
+namespace {
+
+using namespace rvk;
+
+// One fat monitor in 1024 objects: a deliberately contention-heavy stand-in
+// for "steady state, a handful of monitors are inflated at once" (fig5-8
+// run single-digit inflated monitors against thousands of objects).
+constexpr std::uint32_t kContendedStride = 1024;
+
+void BM_LockWordBiasedReacquire(benchmark::State& state) {
+  rt::Scheduler sched;
+  monitor::ThinLock lock("lw-biased");
+  sched.spawn("bench", rt::kNormPriority, [&] {
+    lock.acquire();
+    lock.release();  // leaves the word biased to this thread
+    for (auto _ : state) {
+      lock.acquire();
+      lock.release();
+      benchmark::ClobberMemory();
+    }
+  });
+  sched.run();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LockWordBiasedReacquire);
+
+void BM_LockWordInflateDeflate(benchmark::State& state) {
+  rt::Scheduler sched;
+  monitor::ThinLock lock("lw-cycle");
+  sched.spawn("bench", rt::kNormPriority, [&] {
+    for (auto _ : state) {
+      lock.acquire();          // biased/free -> thin
+      lock.heavy();            // thin -> inflated (adopts the thin owner)
+      lock.release();          // fat release, then deflate -> biased
+      benchmark::ClobberMemory();
+    }
+  });
+  sched.run();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LockWordInflateDeflate);
+
+void BM_ObjectSyncBiased(benchmark::State& state) {
+  rt::Scheduler sched;
+  core::Engine eng(sched);
+  heap::Heap h;
+  heap::HeapObject* o = h.alloc("o", 1);
+  sched.spawn("bench", rt::kNormPriority, [&] {
+    eng.synchronized(o, [] {});  // inflate the word + latch the bias
+    for (auto _ : state) {
+      eng.synchronized(o, [] {});
+      benchmark::ClobberMemory();
+    }
+  });
+  sched.run();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObjectSyncBiased);
+
+void BM_LockWordBytesPerObject(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rt::Scheduler sched;
+  core::Engine eng(sched);  // the veto + RevocableMonitor factory world
+  monitor::MonitorTable& table = monitor::MonitorTable::global();
+  const monitor::MonitorTable::Factory factory =
+      [&eng](std::string name) -> std::unique_ptr<monitor::MonitorBase> {
+    return std::make_unique<core::RevocableMonitor>(std::move(name), eng);
+  };
+
+  double bytes_per_object = 0.0;
+  std::size_t inflated = 0;
+  for (auto _ : state) {
+    // The object population is modelled by its lock words: ObjectMeta
+    // embeds exactly one LockWord, which is the entire per-object monitor
+    // footprint this PR adds.
+    std::vector<monitor::LockWord> words(n);
+    const std::size_t slot_bytes_before = table.slot_bytes();
+    inflated = 0;
+    for (std::size_t i = 0; i < n; i += kContendedStride) {
+      table.inflate(words[i], "lw-bytes", monitor::InflationCause::kObjectSync,
+                    factory);
+      ++inflated;
+    }
+    const std::size_t monitor_bytes =
+        inflated * sizeof(core::RevocableMonitor) +
+        (table.slot_bytes() - slot_bytes_before);
+    bytes_per_object =
+        (static_cast<double>(n) * sizeof(monitor::LockWord) +
+         static_cast<double>(monitor_bytes)) /
+        static_cast<double>(n);
+    // Manual-time encoding: 1 reported ns == 1 byte of monitor state per
+    // object, so the JSON real_time is the gated quantity itself.
+    state.SetIterationTime(bytes_per_object * 1e-9);
+    for (std::size_t i = 0; i < n; i += kContendedStride) {
+      table.release_slot(words[i]);  // quiescent -> destroyed immediately
+    }
+  }
+  const double fat_bytes = static_cast<double>(sizeof(core::RevocableMonitor));
+  state.counters["bytes_per_object"] = bytes_per_object;
+  state.counters["fat_bytes_per_object"] = fat_bytes;
+  state.counters["memory_ratio"] = fat_bytes / bytes_per_object;
+  state.counters["inflated_monitors"] = static_cast<double>(inflated);
+}
+BENCHMARK(BM_LockWordBytesPerObject)
+    ->Arg(1 << 10)
+    ->Arg(1 << 15)
+    ->Arg(1 << 20)
+    ->UseManualTime()
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  std::printf(
+      "\nExpected shape: LockWordBiasedReacquire is the ThinLock floor (a\n"
+      "few ns: one load+compare, two stores).  LockWordInflateDeflate pays\n"
+      "a fat-monitor allocation + destruction every iteration and sits two\n"
+      "orders of magnitude above it — the cost the fast path amortises\n"
+      "away.  ObjectSyncBiased adds the table lookup + biased engine grant\n"
+      "on top of the floor.  LockWordBytesPerObject's real_time encodes\n"
+      "bytes of monitor state per object (1 ns == 1 byte): with 1 in %u\n"
+      "objects contended it settles near sizeof(LockWord) == %zu bytes, so\n"
+      "memory_ratio vs one fat monitor per object (%zu bytes) clears 100x\n"
+      "at every N in the sweep, including 1M objects.\n",
+      kContendedStride, sizeof(monitor::LockWord),
+      sizeof(core::RevocableMonitor));
+  return 0;
+}

@@ -87,6 +87,27 @@ void BM_SectionBiased(benchmark::State& state) {
 }
 BENCHMARK(BM_SectionBiased);
 
+void BM_ObjectSectionBiased(benchmark::State& state) {
+  // The lock-word path (DESIGN.md §13): synchronized on a HeapObject, whose
+  // monitor lives behind its header word.  Steady state is the inflated-word
+  // slot lookup plus the same biased grant as SectionBiased — this row shows
+  // what object-granularity locking adds over a pre-made monitor.
+  rt::Scheduler sched;
+  core::Engine eng(sched);
+  heap::Heap h;
+  heap::HeapObject* o = h.alloc("o", 1);
+  sched.spawn("bench", rt::kNormPriority, [&] {
+    eng.synchronized(o, [] {});  // inflate the lock word + latch the bias
+    for (auto _ : state) {
+      eng.synchronized(o, [] {});
+      benchmark::ClobberMemory();
+    }
+  });
+  sched.run();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObjectSectionBiased);
+
 void BM_SectionBiasedWrite(benchmark::State& state) {
   // One logged store per section: entry is still the biased grant, but the
   // store materialises the frame and the commit discards one log entry.
@@ -189,7 +210,9 @@ int main(int argc, char** argv) {
       "\nExpected shape: ThinLock is the floor.  SectionBiased sits within a\n"
       "small factor of it (biased grant + lazy frame: no queue bookkeeping,\n"
       "no log discard) and beats SectionHeavy by >= 2x — bias_speedup above\n"
-      "is the acceptance ratio.  SectionBiasedWrite adds the one-time frame\n"
+      "is the acceptance ratio.  ObjectSectionBiased rides the same biased\n"
+      "grant behind the object's lock word, paying one extra table lookup\n"
+      "to resolve the word.  SectionBiasedWrite adds the one-time frame\n"
       "materialisation plus a log append.  The *Obs twins are deliberately\n"
       "slower: a live recorder routes sections down the recorded slow path;\n"
       "with no recorder installed the obs seams cost one predicted branch,\n"

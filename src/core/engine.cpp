@@ -34,6 +34,35 @@ Engine::Engine(rt::Scheduler& sched, EngineConfig cfg)
   bias_enabled_ = cfg_.bias && !cfg_.trace;
   rt::set_lazy_frame_hook(&Engine::lazy_frame_trampoline);
 
+  // Object monitors live behind compact lock words in the process-wide
+  // MonitorTable (DESIGN.md §13).  The factory builds this engine's
+  // RevocableMonitors; the veto narrows the table's structural quiescence
+  // predicate with engine knowledge: a monitor referenced by any live frame
+  // — or by a biased section still in its LAZY window (DESIGN.md §11) — is
+  // not deflatable even if its owner/queues look idle at the instant asked.
+  // This is what keeps revocation semantics bit-identical under deflation:
+  // a frame's monitor pointer can never be invalidated under it.
+  monitor_factory_ = [this](std::string name) {
+    return std::unique_ptr<monitor::MonitorBase>(
+        std::make_unique<RevocableMonitor>(std::move(name), *this));
+  };
+  monitor::MonitorTable::global().set_deflate_veto(
+      [this](const monitor::MonitorBase& m) {
+        for (const auto& [t, ts] : sync_states_) {
+          for (const Frame& f : ts->frames) {
+            if (static_cast<const monitor::MonitorBase*>(f.monitor) == &m) {
+              return false;
+            }
+          }
+          if (t->lazy_frame &&
+              static_cast<const monitor::MonitorBase*>(ts->lazy_monitor) ==
+                  &m) {
+            return false;
+          }
+        }
+        return true;
+      });
+
   sched_.set_revocation_deliverer([this](rt::VThread* t) { deliver(t); });
   sched_.set_stall_hook([this]() { return on_stall(); });
   if (cfg_.detection == DetectionMode::kBackground ||
@@ -72,6 +101,11 @@ Engine::Engine(rt::Scheduler& sched, EngineConfig cfg)
 }
 
 Engine::~Engine() {
+  // Return this engine's MonitorTable slots first: the RevocableMonitor
+  // destructors unregister from monitors_, which must still be alive, and
+  // no later engine may inherit a veto capturing this one.
+  monitor::MonitorTable::global().release_slots_owned_by(this);
+  monitor::MonitorTable::global().set_deflate_veto({});
   if (observing_) obs::Recorder::uninstall();
   if (analyzing_) analysis::Analyzer::uninstall();
   rt::set_lazy_frame_hook(nullptr);
@@ -101,9 +135,24 @@ RevocableMonitor* Engine::make_monitor(std::string name) {
 
 RevocableMonitor* Engine::monitor_of(const heap::HeapObject* obj) {
   RVK_CHECK_MSG(obj != nullptr, "synchronized on null object");
-  auto [it, inserted] = object_monitors_.try_emplace(obj, nullptr);
-  if (inserted) it->second = make_monitor("monitor:" + obj->name());
-  return it->second;
+  // The object's header word IS the monitor association (DESIGN.md §13):
+  // no nursery map, no per-object pre-allocation.  A stale word (slot
+  // scavenged or released) reads as free through monitor_at's generation
+  // check and re-inflates here.
+  monitor::LockWord& word = const_cast<heap::HeapObject*>(obj)->meta().lock;
+  monitor::MonitorTable& table = monitor::MonitorTable::global();
+  if (monitor::MonitorBase* m = table.monitor_at(word)) {
+    return static_cast<RevocableMonitor*>(m);
+  }
+  monitor::MonitorBase& m =
+      table.inflate(word, "monitor:" + obj->name(),
+                    monitor::InflationCause::kObjectSync, monitor_factory_,
+                    /*owner_tag=*/this);
+  return static_cast<RevocableMonitor*>(&m);
+}
+
+std::size_t Engine::scavenge_monitors() {
+  return monitor::MonitorTable::global().scavenge();
 }
 
 ThreadSync& Engine::sync_of(rt::VThread* t) {
@@ -347,7 +396,9 @@ void Engine::abort_frame(rt::VThread* t, std::uint64_t expected_frame) {
   // removed every heap reference to them, so they are unreachable — the
   // section's allocations "never happened" along with its stores.
   for (auto& [alloc_heap, obj] : f.allocs) {
-    object_monitors_.erase(obj);  // drop any lazily created object monitor
+    // Any lazily inflated object monitor rides along: ~ObjectMeta releases
+    // the lock word's table slot (quiesce-or-detach) when free() destroys
+    // the object — nothing to unmap here.
     alloc_heap->free(obj);
     ++stats_.spec_allocs_reclaimed;
   }
@@ -835,6 +886,7 @@ void Engine::emit(LifecycleEvent::Kind kind, rt::VThread* t,
 
 void Engine::publish_metrics(obs::Registry& reg) {
   obs::publish(reg, stats(), "engine.");
+  obs::publish(reg, monitor::MonitorTable::global().stats(), "montable.");
   for (const RevocableMonitor* m : monitors_) {
     obs::publish(reg, m->stats(), "monitor." + m->name() + ".stats.");
   }

@@ -40,6 +40,7 @@
 #include "core/rollback.hpp"
 #include "heap/barriers.hpp"
 #include "heap/object.hpp"
+#include "monitor/monitor_table.hpp"
 #include "rt/scheduler.hpp"
 #include "support/annotations.hpp"
 
@@ -214,16 +215,49 @@ class Engine {
   // Creates an engine-owned revocable monitor.
   RevocableMonitor* make_monitor(std::string name);
 
-  // Java: "every object can act as a monitor" (§2).  Returns the monitor
-  // lazily associated with `obj` — the lock-nursery pattern Jikes RVM uses
-  // for objects whose header has no inflated lock.  The association lives
-  // for the engine's lifetime.
+  // Java: "every object can act as a monitor" (§2).  Resolves the monitor
+  // behind `obj`'s compact lock word (DESIGN.md §13), inflating a
+  // RevocableMonitor into the process-wide MonitorTable on first use.  The
+  // slot lives until the word deflates (scavenge_monitors), the object dies,
+  // or this engine is destroyed — NOT for the engine's lifetime per se, so
+  // callers must not cache the pointer across yield points; re-resolve
+  // instead (synchronized(obj) below does).
   RevocableMonitor* monitor_of(const heap::HeapObject* obj);
 
-  // synchronized(obj) { body; } — Java's object-monitor form.
+  // Deflates every quiescent object monitor this engine inflated (and any
+  // detached slots) back to free lock words, returning the count.  This is
+  // the ONLY engine-side deflation entry point: commit/abort/release are
+  // forbidden regions (no alloc/yield), so the engine never deflates
+  // opportunistically — callers run this from idle/maintenance context.
+  std::size_t scavenge_monitors();
+
+  // synchronized(obj) { body; } — Java's object-monitor form.  Mirrors the
+  // RevocableMonitor& overload below, but re-resolves monitor_of(obj) on
+  // EVERY retry: a scavenge between a rollback and its retry may deflate
+  // and re-inflate the object's monitor into a different slot, so a
+  // captured reference would dangle.
   template <typename F>
   void synchronized(const heap::HeapObject* obj, F&& body) {
-    synchronized(*monitor_of(obj), std::forward<F>(body));
+    rt::VThread* t = sched_.current_thread();
+    RVK_CHECK_MSG(t != nullptr, "synchronized outside a green thread");
+    int budget_used = 0;
+    for (;;) {
+      RevocableMonitor& m = *monitor_of(obj);
+      const std::uint64_t frame_id = enter_frame(m, t, budget_used);
+      try {
+        body();
+        commit_frame(t);
+        return;
+      } catch (RollbackException& e) {
+        abort_frame(t, frame_id);
+        if (e.target_frame() != frame_id) throw;  // unwind to outer section
+        ++budget_used;
+        finish_rollback(e, budget_used);
+      } catch (...) {
+        commit_frame(t);
+        throw;
+      }
+    }
   }
 
   // Runs `body` as a speculative synchronized section guarded by `m`
@@ -419,8 +453,10 @@ class Engine {
   std::unordered_map<rt::VThread*, std::unique_ptr<ThreadSync>> sync_states_;
   std::unordered_map<std::uint32_t, rt::VThread*> threads_by_id_;
   std::unordered_map<rt::VThread*, RevocableMonitor*> waits_for_;
-  std::unordered_map<const heap::HeapObject*, RevocableMonitor*>
-      object_monitors_;  // lock nursery for per-object monitors
+  // Builds the RevocableMonitors monitor_of inflates into the MonitorTable;
+  // the engine is the slots' owner tag, so teardown can release exactly its
+  // own slots (ThinLock/baseline slots are untagged and untouched).
+  monitor::MonitorTable::Factory monitor_factory_;
   std::vector<RevocableMonitor*> monitors_;       // registered, for sweeps
   std::vector<std::unique_ptr<RevocableMonitor>> owned_monitors_;
   std::uint64_t next_frame_id_ = 1;

@@ -43,6 +43,10 @@ void RevocableMonitor::acquire() {
     }
   }
   bool contended = false;
+  // In transit until ownership is taken (or RollbackException unwinds the
+  // guard): the deflation quiescence predicate must see contenders that are
+  // momentarily in no queue (DESIGN.md §13).
+  TransitGuard transit(*this);
   for (;;) {
     if (t->revoke_requested) [[unlikely]] {
       // We may hold this monitor's rollback reservation; surrender it before

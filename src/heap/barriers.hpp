@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "log/undo_log.hpp"
+#include "monitor/lock_word.hpp"
 #include "rt/scheduler.hpp"
 #include "support/annotations.hpp"
 
@@ -27,21 +28,36 @@ namespace rvk::heap {
 
 using Word = log::Word;
 
-// Per-object speculative-writer mark.  Granularity is per object (not per
-// slot): the paper does not specify its granularity, and per-object is the
-// classic Jikes-style header-word choice.  A mark is *advisory*: it may be
-// stale (the writing section already committed or aborted), in which case the
-// engine hook validates it against the writer's section epoch and clears it.
+// Per-object header: the speculative-writer mark plus the compact lock word
+// (DESIGN.md §13) that makes every HeapObject/HeapArray directly lockable
+// with no pre-allocated monitor — fat monitor state lives in the
+// MonitorTable only while the word is inflated.
+//
+// Writer-mark granularity is per object (not per slot): the paper does not
+// specify it, and per-object is the classic Jikes-style header-word choice.
+// A mark is *advisory*: it may be stale (the writing section already
+// committed or aborted), in which case the engine hook validates it against
+// the writer's section epoch and clears it.
 struct ObjectMeta {
   std::uint32_t writer_tid = 0;    // 0 = no speculative writer recorded
   std::uint32_t writer_epoch = 0;  // writer's section_epoch at store time
   std::uint64_t writer_frame = 0;  // writer's innermost frame at store time
+  monitor::LockWord lock;          // this object's monitor, when compact
 
+  // Clears the writer mark ONLY — the lock word is monitor state, not
+  // speculation metadata, and survives mark validation.
   void clear() {
     writer_tid = 0;
     writer_epoch = 0;
     writer_frame = 0;
   }
+
+  // Dying with an inflated word returns (or detaches) the table slot so a
+  // recycled address can never alias the old monitor.
+  ~ObjectMeta() { monitor::release_inflated_slot(lock); }
+  ObjectMeta() = default;
+  ObjectMeta(const ObjectMeta&) = delete;
+  ObjectMeta& operator=(const ObjectMeta&) = delete;
 };
 
 // Access descriptor passed to the barrier trace dispatch.  Two consumers

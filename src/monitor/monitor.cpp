@@ -15,6 +15,10 @@ void MonitorBase::acquire() {
   }
   bool contended = false;
   while (!try_take(t)) {
+    // In transit: between the failed try_take and the post-wakeup retry the
+    // thread may sit in no queue while holding `this` — the guard keeps the
+    // deflation quiescence predicate honest (DESIGN.md §13).
+    TransitGuard transit(*this);
     if (!contended) {
       contended = true;
       ++stats_.contended;
@@ -107,6 +111,10 @@ void MonitorBase::wait() {
   rt::VThread* t = sched->current_thread();
   RVK_CHECK_MSG(owner_ == t, "wait() by non-owner");
   ++stats_.waits;
+  // In transit for the whole window: a notified waiter is runnable but in
+  // NO queue until its reacquire blocks — without the guard that window
+  // would read as quiescent and deflation could free the monitor under it.
+  TransitGuard transit(*this);
   on_wait_release(t);
   const int saved = recursion_;
   recursion_ = 1;  // release() drops the monitor fully in one step
@@ -121,6 +129,7 @@ bool MonitorBase::wait_for(std::uint64_t ticks) {
   rt::VThread* t = sched->current_thread();
   RVK_CHECK_MSG(owner_ == t, "wait_for() by non-owner");
   ++stats_.waits;
+  TransitGuard transit(*this);  // see wait()
   on_wait_release(t);
   const int saved = recursion_;
   recursion_ = 1;

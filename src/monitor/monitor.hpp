@@ -115,8 +115,29 @@ class MonitorBase {
   const MonitorStats& stats() const { return stats_; }
   const rt::WaitQueue& entry_queue() const { return entry_queue_; }
   const rt::WaitQueue& wait_set() const { return wait_set_; }
+  // Threads currently inside acquire()'s contended loop or a wait() window.
+  // A woken waiter that has not yet been rescheduled sits in NO queue while
+  // still holding a reference to this monitor — this counter is what lets
+  // the deflation quiescence predicate (MonitorTable::quiescent, DESIGN.md
+  // §13) see it.
+  int in_transit() const { return transit_; }
 
  protected:
+  // Marks the enclosing scope as in-transit through this monitor (bumps
+  // transit_, RAII-decrements on every exit path — RollbackException unwinds
+  // out of RevocableMonitor::acquire through it).  Scopes: the contended
+  // acquire loop and the whole of wait()/wait_for().
+  class TransitGuard {
+   public:
+    explicit TransitGuard(MonitorBase& m) : m_(m) { ++m_.transit_; }
+    ~TransitGuard() { --m_.transit_; }
+    TransitGuard(const TransitGuard&) = delete;
+    TransitGuard& operator=(const TransitGuard&) = delete;
+
+   private:
+    MonitorBase& m_;
+  };
+
   // Attempts to take the free monitor, honouring reservations.  Deposits the
   // taker's priority on success.
   bool try_take(rt::VThread* t);
@@ -145,6 +166,7 @@ class MonitorBase {
   rt::VThread* reserved_ = nullptr;  // woken waiter the monitor is held for
   int recursion_ = 0;
   int owner_priority_ = 0;
+  int transit_ = 0;  // see in_transit()
   rt::WaitQueue entry_queue_;
   rt::WaitQueue wait_set_;
   MonitorStats stats_;

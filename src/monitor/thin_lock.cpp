@@ -1,84 +1,132 @@
 #include "monitor/thin_lock.hpp"
 
+#include "common/check.hpp"
+#include "rt/scheduler.hpp"
+
 namespace rvk::monitor {
 
 void ThinLock::acquire() {
   rt::VThread* t = rt::current_vthread();
   RVK_CHECK_MSG(t != nullptr, "thin lock used outside a running scheduler");
-  if (heavy_ != nullptr) {
+  const std::uint32_t tid = t->id();
+  if (!LockWord::fits_owner(tid)) [[unlikely]] {
+    // Past the 22-bit id budget this thread can never appear in a
+    // thin/biased word: it goes straight to the fat monitor (bucketed with
+    // recursion overflow — both are encoding-capacity overflows).
+    MonitorBase* existing = MonitorTable::global().monitor_at(word_);
+    MonitorBase& m =
+        existing != nullptr ? *existing : inflate(InflationCause::kOverflow);
     ++stats_.heavy_acquires;
-    heavy_->acquire();
+    m.acquire();
     return;
   }
-  if (word_ == 0) {
-    // Uncontended fast path: one word store.
-    word_ = (static_cast<std::uint64_t>(t->id()) << kCountBits) | 1;
+  // The folded fast path (DESIGN.md §13): one load + one compare covers the
+  // hot "same thread re-acquires its released lock" case.
+  if (word_ == LockWord::biased(tid)) [[likely]] {
+    word_ = LockWord::thin(tid, 1);
     ++stats_.thin_acquires;
     return;
   }
-  if (word_owner_id() == t->id()) {
-    if (word_count() == kMaxCount) {
+  if (word_.is_free()) {
+    word_ = LockWord::thin(tid, 1);
+    ++stats_.thin_acquires;
+    return;
+  }
+  if (word_.is_biased()) {
+    // Biased to another thread but FREE: taking it just revokes the bias —
+    // no inflation, exactly like an unbiased free word.
+    word_ = LockWord::thin(tid, 1);
+    ++stats_.thin_acquires;
+    return;
+  }
+  if (word_.is_inflated()) {
+    MonitorBase* m = MonitorTable::global().monitor_at(word_);
+    RVK_CHECK_MSG(m != nullptr, "thin lock holds a stale inflated word");
+    ++stats_.heavy_acquires;
+    m->acquire();
+    return;
+  }
+  // Thin.
+  if (word_.owner_id() == tid) {
+    const std::uint32_t count = word_.count();
+    if (count == kMaxCount) {
       // Recursion counter exhausted: inflate, carrying the count over.
-      ++stats_.inflation_by_overflow;
-      inflate(t);
+      MonitorBase& m = inflate(InflationCause::kOverflow);
       ++stats_.heavy_acquires;
-      heavy_->acquire();  // recursion kMaxCount + 1
+      m.acquire();  // recursion kMaxCount + 1
       return;
     }
-    ++word_;  // recursive fast path
+    word_ = LockWord::thin(tid, count + 1);  // recursive fast path
     ++stats_.thin_acquires;
     return;
   }
-  // Contention: inflate on behalf of the current thin owner, then contend
-  // on the heavy monitor like everyone else.
-  ++stats_.inflation_by_contention;
-  rt::VThread* owner =
-      rt::current_scheduler()->thread_by_id(word_owner_id());
-  RVK_CHECK_MSG(owner != nullptr, "thin-lock owner thread not found");
-  inflate(owner);
+  // Contention: inflate on behalf of the current thin owner (ownership
+  // transfers inside the table), then contend on the heavy monitor like
+  // everyone else.
+  MonitorBase& m = inflate(InflationCause::kContention);
   ++stats_.heavy_acquires;
-  heavy_->acquire();
+  m.acquire();
 }
 
 void ThinLock::release() {
-  if (heavy_ != nullptr) {
-    heavy_->release();
+  if (word_.is_inflated()) {
+    MonitorTable& table = MonitorTable::global();
+    MonitorBase* m = table.monitor_at(word_);
+    RVK_CHECK_MSG(m != nullptr, "thin lock holds a stale inflated word");
+    rt::VThread* t = rt::current_vthread();
+    RVK_CHECK_MSG(t != nullptr && m->held_by(t),
+                  "thin-lock release by non-owner");
+    m->release();
+    // Opportunistic deflation — runs strictly after do_release's forbidden
+    // region returned.  Quiescence fails whenever anyone still wants the
+    // monitor (queued, reserved, or in transit), so a contended release
+    // stays inflated and §5.6 barging is untouched.  Deflating to
+    // biased(t) keeps the releasing thread on the one-compare fast path
+    // (an id past the encoding budget deflates to free instead).
+    const LockWord after = LockWord::fits_owner(t->id())
+                               ? LockWord::biased(t->id())
+                               : LockWord();
+    if (table.try_deflate(word_, after)) {
+      ++stats_.deflations;
+    }
     return;
   }
   rt::VThread* t = rt::current_vthread();
-  RVK_CHECK_MSG(t != nullptr && word_owner_id() == t->id(),
+  RVK_CHECK_MSG(t != nullptr && word_.is_thin() &&
+                    word_.owner_id() == t->id(),
                 "thin-lock release by non-owner");
-  if (word_count() > 1) {
-    --word_;
+  const std::uint32_t count = word_.count();
+  if (count > 1) {
+    word_ = LockWord::thin(t->id(), count - 1);
   } else {
-    word_ = 0;
+    word_ = LockWord::biased(t->id());  // free, primed for re-acquire
   }
 }
 
-void ThinLock::inflate(rt::VThread* owner) {
-  RVK_CHECK(heavy_ == nullptr);
-  heavy_ = std::make_unique<BlockingMonitor>(name_ + ":inflated");
+MonitorBase& ThinLock::inflate(InflationCause cause) {
   ++stats_.inflations;
-  if (owner != nullptr && word_ != 0) {
-    heavy_->adopt_owner(owner, static_cast<int>(word_count()));
+  if (stats_.deflations > 0) ++stats_.re_inflations;
+  switch (cause) {
+    case InflationCause::kContention: ++stats_.inflation_by_contention; break;
+    case InflationCause::kOverflow: ++stats_.inflation_by_overflow; break;
+    case InflationCause::kWait: ++stats_.inflation_by_wait; break;
+    case InflationCause::kObjectSync: break;  // not a ThinLock cause
   }
-  word_ = 0;
+  return MonitorTable::global().inflate(word_, name_ + ":inflated", cause);
 }
 
 MonitorBase& ThinLock::heavy() {
-  if (heavy_ == nullptr) {
-    rt::VThread* owner =
-        word_ == 0 ? nullptr
-                   : rt::current_scheduler()->thread_by_id(word_owner_id());
-    inflate(owner);
-  }
-  return *heavy_;
+  if (MonitorBase* m = MonitorTable::global().monitor_at(word_)) return *m;
+  return inflate(InflationCause::kWait);
 }
 
 bool ThinLock::held_by_current() const {
-  if (heavy_ != nullptr) return heavy_->held_by_current();
+  if (word_.is_inflated()) {
+    const MonitorBase* m = MonitorTable::global().monitor_at(word_);
+    return m != nullptr && m->held_by_current();
+  }
   rt::VThread* t = rt::current_vthread();
-  return t != nullptr && word_ != 0 && word_owner_id() == t->id();
+  return t != nullptr && word_.is_thin() && word_.owner_id() == t->id();
 }
 
 }  // namespace rvk::monitor

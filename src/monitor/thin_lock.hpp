@@ -1,12 +1,15 @@
-// Thin locks with inflation — the lock representation Jikes RVM (the
-// paper's platform) gives every object.
+// Thin locks — now a thin adapter over the compact lock-word layer
+// (lock_word.hpp + monitor_table.hpp, DESIGN.md §13).
 //
 // The common case — an uncontended, shallowly recursive lock — is a single
-// header word: [owner thread id : 24][recursion count : 8], zero when free.
-// Acquire/release on the fast path touch only that word.  The lock
-// *inflates* to a heavy MonitorBase (with entry queue, wait set, priority
-// bookkeeping) on the first contention or on recursion-count overflow, and
-// stays inflated for its lifetime.
+// LockWord: thin states touch only that word, and a release parks the word
+// in the *biased* state so the same thread's next acquire is one load+one
+// compare (the Jikes-style fast path the engine's §11 biased sections are
+// benchmarked against).  The lock *inflates* to a heavy MonitorBase slot in
+// the process-wide MonitorTable on first contention, recursion-count
+// overflow, or Object.wait — and, unlike the pre-§13 design, *deflates*
+// back to a biased word when the fat monitor goes quiescent, so monitor
+// memory tracks contention, not lock count.
 //
 // On this green-thread substrate the transitions need no atomics (context
 // switches happen only at yield points, and none occur inside these
@@ -16,41 +19,51 @@
 // which is exactly the only time contention decisions are made.
 //
 // ThinLock is a monitor/ substrate feature used by baselines and
-// micro-benchmarks; the revocation engine always uses heavy
-// RevocableMonitors, but since DESIGN.md §11 their uncontended path is
-// thin-lock-shaped too: a repeat acquire by the biased owner skips the
-// queue/priority bookkeeping, and the frame itself stays lazy until the
-// section's first logged write or yield point.  The ThinLock here remains
-// the baseline that path is benchmarked against (bench/micro_uncontended).
+// micro-benchmarks; the revocation engine locks heap objects through the
+// same LockWord/MonitorTable layer (Engine::monitor_of inflates
+// RevocableMonitors into it), so baselines and the revocation path are
+// measured on one encoding (bench/micro_uncontended, bench/micro_lockword).
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string>
 
-#include "monitor/monitor.hpp"
+#include "monitor/lock_word.hpp"
+#include "monitor/monitor_table.hpp"
 
 namespace rvk::monitor {
 
 struct ThinLockStats {
-  std::uint64_t thin_acquires = 0;   // fast-path acquisitions
-  std::uint64_t heavy_acquires = 0;  // acquisitions after inflation
-  std::uint64_t inflations = 0;      // 0 or 1; kept as a counter for sweeps
+  std::uint64_t thin_acquires = 0;   // word-only acquisitions (incl. biased)
+  std::uint64_t heavy_acquires = 0;  // acquisitions while inflated
+  std::uint64_t inflations = 0;      // may exceed 1: deflation re-arms it
+  std::uint64_t deflations = 0;      // quiescent slot returned to the word
+  std::uint64_t re_inflations = 0;   // inflations after a deflation
   std::uint64_t inflation_by_contention = 0;
   std::uint64_t inflation_by_overflow = 0;
+  std::uint64_t inflation_by_wait = 0;
 };
 
 class ThinLock {
  public:
+  static constexpr std::uint32_t kMaxCount = LockWord::kMaxCount;
+
   explicit ThinLock(std::string name) : name_(std::move(name)) {}
+
+  // Returns the table slot if still inflated (quiesce-or-detach).
+  ~ThinLock() { release_inflated_slot(word_); }
 
   ThinLock(const ThinLock&) = delete;
   ThinLock& operator=(const ThinLock&) = delete;
 
   void acquire();
+
+  // Releases one level; a full release of an inflated lock opportunistically
+  // deflates the slot when quiescent — strictly AFTER the inner
+  // MonitorBase::release() forbidden region returns (DESIGN.md §13).
   void release();
 
-  bool inflated() const { return heavy_ != nullptr; }
+  bool inflated() const { return word_.is_inflated(); }
 
   // The heavy monitor, inflating on demand (Object.wait needs it even
   // without prior contention, like real JVMs).
@@ -61,24 +74,17 @@ class ThinLock {
   const ThinLockStats& stats() const { return stats_; }
 
   // Lock-word accessors (tests/diagnostics).
-  std::uint32_t word_owner_id() const {
-    return static_cast<std::uint32_t>(word_ >> kCountBits);
-  }
-  std::uint32_t word_count() const {
-    return static_cast<std::uint32_t>(word_ & kCountMask);
-  }
+  std::uint32_t word_owner_id() const { return word_.owner_id(); }
+  std::uint32_t word_count() const { return word_.count(); }
+  const LockWord& word() const { return word_; }
 
  private:
-  static constexpr std::uint32_t kCountBits = 8;
-  static constexpr std::uint64_t kCountMask = (1u << kCountBits) - 1;
-  static constexpr std::uint64_t kMaxCount = kCountMask;
-
-  // Inflates while the thin lock is held by `owner` (or free when nullptr).
-  void inflate(rt::VThread* owner);
+  // Inflates (recording `cause`) and returns the fat monitor; thin
+  // ownership transfers inside MonitorTable::inflate.
+  MonitorBase& inflate(InflationCause cause);
 
   std::string name_;
-  std::uint64_t word_ = 0;  // [owner id : high][count : kCountBits]
-  std::unique_ptr<BlockingMonitor> heavy_;
+  LockWord word_;
   ThinLockStats stats_;
 };
 

@@ -32,6 +32,8 @@ struct EngineStats;
 }
 namespace rvk::monitor {
 struct MonitorStats;
+struct MonitorTableStats;
+struct ThinLockStats;
 }
 namespace rvk::log {
 struct LogStats;
@@ -108,6 +110,10 @@ class Registry {
 void publish(Registry& r, const core::EngineStats& s,
              std::string_view prefix = "engine.");
 void publish(Registry& r, const monitor::MonitorStats& s,
+             std::string_view prefix);
+void publish(Registry& r, const monitor::MonitorTableStats& s,
+             std::string_view prefix = "montable.");
+void publish(Registry& r, const monitor::ThinLockStats& s,
              std::string_view prefix);
 void publish(Registry& r, const log::LogStats& s,
              std::string_view prefix = "log.");

@@ -159,8 +159,9 @@ TEST(SpecAllocTest, AllocationOutsideSectionsIsNeverTracked) {
 }
 
 TEST(SpecAllocTest, ObjectMonitorOfReclaimedObjectIsDropped) {
-  // Synchronizing on a speculative object creates a nursery entry; the
-  // reclaim must drop it so a recycled address cannot alias the monitor.
+  // Synchronizing on a speculative object inflates its lock word; the
+  // reclaim destroys the object, whose ~ObjectMeta returns the table slot,
+  // so a recycled address cannot alias the monitor.
   Fixture fx;
   RevocableMonitor* m = fx.engine.make_monitor("m");
   int lo_runs = 0;

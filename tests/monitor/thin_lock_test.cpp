@@ -63,8 +63,11 @@ TEST(ThinLockTest, ContentionInflates) {
     lock.release();
   });
   s.run();
-  EXPECT_TRUE(lock.inflated());
+  // The contender's final release found the monitor quiescent and deflated
+  // it back to a (biased) word — inflation tracks contention, not history.
+  EXPECT_FALSE(lock.inflated());
   EXPECT_EQ(lock.stats().inflation_by_contention, 1u);
+  EXPECT_EQ(lock.stats().deflations, 1u);
   ASSERT_EQ(order.size(), 2u);
   EXPECT_EQ(order[0], 1);  // mutual exclusion held across inflation
   EXPECT_EQ(order[1], 2);
@@ -129,7 +132,10 @@ TEST(ThinLockTest, HeavyAccessorInflatesForWait) {
   });
   s.run();
   EXPECT_TRUE(woken);
-  EXPECT_TRUE(lock.inflated());
+  EXPECT_EQ(lock.stats().inflation_by_wait, 1u);
+  // Once the woken waiter releases, nobody needs the fat monitor: deflated.
+  EXPECT_FALSE(lock.inflated());
+  EXPECT_EQ(lock.stats().deflations, 1u);
 }
 
 TEST(ThinLockTest, ManyThreadsMutualExclusion) {

@@ -1,0 +1,34 @@
+// Release path mirroring the real tree's monitor layer: do_release is a
+// forbidden root (the engine's undo-then-release sequence runs through it),
+// and deflation is an honestly-declared RVK_MAY_ALLOC table operation
+// (DESIGN.md §13 keeps it strictly AFTER the release region returns).
+#include "sched.hpp"
+
+namespace eng {
+
+struct Table {
+  // Deflation destroys the fat monitor and may touch the allocator's free
+  // lists — an alloc-lattice effect, declared like the real MonitorTable's.
+  RVK_MAY_ALLOC void deflate(int slot);
+  int live_;
+};
+
+void Table::deflate(int slot) {
+  (void)slot;
+  live_ = live_ - 1;
+}
+
+struct Monitor {
+  int owner_;
+  int slot_;
+  void do_release(Sched* s, Table* t);
+};
+
+void Monitor::do_release(Sched* s, Table* t) {
+  owner_ = 0;
+  s->make_runnable(1);
+  t->deflate(slot_);  // SEEDED VIOLATION: allocating deflation inside the
+                      // release forbidden region (must run after it returns)
+}
+
+}  // namespace eng
