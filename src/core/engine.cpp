@@ -219,31 +219,25 @@ void Engine::materialize_lazy(rt::VThread* t) {
   // path is eligible (see enter_frame), so none missed the enter.
 }
 
-std::uint64_t Engine::enter_frame(RevocableMonitor& m, rt::VThread* t,
-                                  int budget_used) {
-  if (t->lazy_frame) [[unlikely]] materialize_lazy(t);  // nested entry
-  t->interrupted = false;
-  // Biased lazy fast path (DESIGN.md §11): eligible only when nothing can
-  // observe a deferred frame — no lifecycle hook (exploration), no analyzer,
-  // no recorder, no pending revocation — and the monitor grants its bias.
-  // Green-thread atomicity keeps the frame invisible until the first yield
-  // point, logged write, nested entry, or blocking call materialises it, at
-  // which point the section is exactly as revocable as a slow-path one.
-  if (bias_enabled_ && !lifecycle_hook_ &&
-      analysis::detail::g_frame_hook == nullptr && !obs::recording() &&
-      !t->revoke_requested && m.bias_fast_acquire(t)) {
-    ThreadSync& ts = sync_of(t);
-    ts.lazy_monitor = &m;
-    ts.lazy_log_mark = t->undo_log.watermark();
-    ts.lazy_budget_used = budget_used;
-    const std::uint64_t id = next_frame_id_++;
-    t->current_frame_id = id;
-    if (++t->sync_depth == 1) rt::enter_section(t);
-    t->lazy_frame = true;
-    ++stats_.sections_entered;
-    return id;
-  }
-  m.acquire();  // may throw RollbackException targeting an enclosing frame
+std::uint64_t Engine::lazy_enter(RevocableMonitor& m, rt::VThread* t,
+                                 int budget_used) {
+  // The bias grant already took ownership; record the would-be frame as the
+  // lazy registers in ThreadSync (DESIGN.md §11).  sync_of is a hash hit
+  // for any thread that biased a monitor (it entered a section before).
+  ThreadSync& ts = sync_of(t);
+  ts.lazy_monitor = &m;
+  ts.lazy_log_mark = t->undo_log.watermark();
+  ts.lazy_budget_used = budget_used;
+  const std::uint64_t id = next_frame_id_++;
+  t->current_frame_id = id;
+  if (++t->sync_depth == 1) rt::enter_section(t);
+  t->lazy_frame = true;
+  ++stats_.sections_entered;
+  return id;
+}
+
+std::uint64_t Engine::push_frame(RevocableMonitor& m, rt::VThread* t,
+                                 int budget_used) {
   ThreadSync& ts = sync_of(t);
   Frame& f = ts.frames.push();
   f.monitor = &m;
@@ -261,6 +255,46 @@ std::uint64_t Engine::enter_frame(RevocableMonitor& m, rt::VThread* t,
     emit(LifecycleEvent::Kind::kSectionEnter, t, f.id, &m);
   }
   return f.id;
+}
+
+std::uint64_t Engine::enter_frame(RevocableMonitor& m, rt::VThread* t,
+                                  int budget_used) {
+  if (t->lazy_frame) [[unlikely]] materialize_lazy(t);  // nested entry
+  t->interrupted = false;
+  // Biased lazy fast path (DESIGN.md §11): eligible only when nothing can
+  // observe a deferred frame — no lifecycle hook (exploration), no analyzer,
+  // no recorder, no pending revocation — and the monitor grants its bias.
+  // Green-thread atomicity keeps the frame invisible until the first yield
+  // point, logged write, nested entry, or blocking call materialises it, at
+  // which point the section is exactly as revocable as a slow-path one.
+  if (bias_enabled_ && !lifecycle_hook_ &&
+      analysis::detail::g_frame_hook == nullptr && !obs::recording() &&
+      !t->revoke_requested && m.bias_fast_acquire(t)) {
+    return lazy_enter(m, t, budget_used);
+  }
+  m.acquire();  // may throw RollbackException targeting an enclosing frame
+  return push_frame(m, t, budget_used);
+}
+
+std::uint64_t Engine::try_enter_frame(RevocableMonitor& m, rt::VThread* t,
+                                      int budget_used, std::uint64_t ticks) {
+  if (t->lazy_frame) [[unlikely]] materialize_lazy(t);  // nested entry
+  t->interrupted = false;
+  // The lazy fast path additionally requires no pending cancellation: a
+  // cancelled thread must never slip into a section through the bias when
+  // try_enter would have refused it (DESIGN.md §14).
+  if (bias_enabled_ && !lifecycle_hook_ &&
+      analysis::detail::g_frame_hook == nullptr && !obs::recording() &&
+      !t->revoke_requested && !t->cancel_requested && m.bias_fast_acquire(t)) {
+    return lazy_enter(m, t, budget_used);
+  }
+  // May throw RollbackException targeting an enclosing frame (revocation
+  // outranks the deadline — see RevocableMonitor::try_enter).
+  if (!m.try_enter(ticks)) {
+    ++stats_.entry_aborts;
+    return 0;
+  }
+  return push_frame(m, t, budget_used);
 }
 
 void Engine::commit_frame(rt::VThread* t) {
@@ -438,6 +472,13 @@ std::uint64_t Engine::section_enter(RevocableMonitor& m, int retries) {
   rt::VThread* t = sched_.current_thread();
   RVK_CHECK_MSG(t != nullptr, "section_enter outside a green thread");
   return enter_frame(m, t, retries);
+}
+
+std::uint64_t Engine::try_section_enter(RevocableMonitor& m,
+                                        std::uint64_t ticks, int retries) {
+  rt::VThread* t = sched_.current_thread();
+  RVK_CHECK_MSG(t != nullptr, "try_section_enter outside a green thread");
+  return try_enter_frame(m, t, retries, ticks);
 }
 
 void Engine::section_commit() {

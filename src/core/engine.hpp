@@ -199,6 +199,9 @@ struct EngineStats {
   std::uint64_t spec_allocs_reclaimed = 0;  // allocations undone by rollbacks
   std::uint64_t words_undone = 0;
   std::uint64_t log_appends = 0;
+  // Abortable section entries (try_synchronized / try_section_enter) that
+  // gave up — deadline expired or cancellation requested (DESIGN.md §14).
+  std::uint64_t entry_aborts = 0;
 };
 
 class Engine {
@@ -292,6 +295,75 @@ class Engine {
     }
   }
 
+  // Abortable synchronized (DESIGN.md §14): as synchronized(m, body), but
+  // gives up — returning false with nothing held and nothing run — if the
+  // section cannot be ENTERED within `ticks` virtual ticks, or if
+  // cancellation was requested for the calling thread
+  // (monitor::MonitorBase::cancel).  One absolute deadline spans rollback
+  // retries: a revoked body re-enters with the remaining budget, and once
+  // the deadline has passed a retry degrades to a single non-blocking
+  // attempt.  The deadline bounds entry only — a body that acquired runs to
+  // completion (commit or rollback) exactly like synchronized().
+  template <typename F>
+  bool try_synchronized(RevocableMonitor& m, std::uint64_t ticks, F&& body) {
+    rt::VThread* t = sched_.current_thread();
+    RVK_CHECK_MSG(t != nullptr, "synchronized outside a green thread");
+    const std::uint64_t deadline = sched_.now() + ticks;
+    int budget_used = 0;
+    for (;;) {
+      const std::uint64_t now = sched_.now();
+      const std::uint64_t frame_id = try_enter_frame(
+          m, t, budget_used, deadline > now ? deadline - now : 0);
+      if (frame_id == 0) return false;
+      try {
+        body();
+        commit_frame(t);
+        return true;
+      } catch (RollbackException& e) {
+        abort_frame(t, frame_id);
+        if (e.target_frame() != frame_id) throw;  // unwind to outer section
+        ++budget_used;
+        finish_rollback(e, budget_used);
+      } catch (...) {
+        commit_frame(t);
+        throw;
+      }
+    }
+  }
+
+  // try_synchronized for Java's object-monitor form.  Like
+  // synchronized(obj), the monitor is re-resolved on EVERY retry — a
+  // scavenge between a rollback and its retry may have re-inflated the
+  // object's monitor into a different slot.
+  template <typename F>
+  bool try_synchronized(const heap::HeapObject* obj, std::uint64_t ticks,
+                        F&& body) {
+    rt::VThread* t = sched_.current_thread();
+    RVK_CHECK_MSG(t != nullptr, "synchronized outside a green thread");
+    const std::uint64_t deadline = sched_.now() + ticks;
+    int budget_used = 0;
+    for (;;) {
+      RevocableMonitor& m = *monitor_of(obj);
+      const std::uint64_t now = sched_.now();
+      const std::uint64_t frame_id = try_enter_frame(
+          m, t, budget_used, deadline > now ? deadline - now : 0);
+      if (frame_id == 0) return false;
+      try {
+        body();
+        commit_frame(t);
+        return true;
+      } catch (RollbackException& e) {
+        abort_frame(t, frame_id);
+        if (e.target_frame() != frame_id) throw;
+        ++budget_used;
+        finish_rollback(e, budget_used);
+      } catch (...) {
+        commit_frame(t);
+        throw;
+      }
+    }
+  }
+
   // ---- Low-level section protocol ----
   //
   // The primitives synchronized() is built from, exposed for clients that
@@ -309,6 +381,14 @@ class Engine {
   // an ENCLOSING frame).  `retries` seeds the frame's revocation budget.
   // Returns the new frame's id.
   std::uint64_t section_enter(RevocableMonitor& m, int retries = 0);
+
+  // Abortable monitorenter: as section_enter, but bounded by `ticks` and
+  // responsive to cancellation.  Returns the new frame id, or 0 if entry was
+  // abandoned (nothing held, no frame pushed).  Composes with the biased
+  // lazy fast path: an uncancelled biased grant is taken without arming a
+  // timer.
+  RVK_MAY_YIELD RVK_MAY_BLOCK RVK_MAY_ALLOC std::uint64_t try_section_enter(
+      RevocableMonitor& m, std::uint64_t ticks, int retries = 0);
 
   // Commits the innermost frame (Java monitorexit / abrupt completion:
   // updates stand, monitor released).
@@ -387,6 +467,18 @@ class Engine {
  private:
   RVK_MAY_YIELD RVK_MAY_BLOCK RVK_MAY_ALLOC std::uint64_t enter_frame(
       RevocableMonitor& m, rt::VThread* t, int budget_used);
+  // Abortable twin of enter_frame: try_enter(ticks) instead of acquire(),
+  // returning 0 when entry was abandoned.  The biased lazy fast path is
+  // shared, additionally gated on !cancel_requested.
+  RVK_MAY_YIELD RVK_MAY_BLOCK RVK_MAY_ALLOC std::uint64_t try_enter_frame(
+      RevocableMonitor& m, rt::VThread* t, int budget_used,
+      std::uint64_t ticks);
+  // Shared tails of the two entry paths: the lazy-register grant (DESIGN.md
+  // §11) and the real-frame push after the monitor was acquired.
+  RVK_MAY_ALLOC std::uint64_t lazy_enter(RevocableMonitor& m, rt::VThread* t,
+                                         int budget_used);
+  RVK_MAY_ALLOC std::uint64_t push_frame(RevocableMonitor& m, rt::VThread* t,
+                                         int budget_used);
   // commit/abort are the §3.1.2 undo-then-release sequences; rvkcheck
   // treats them as forbidden roots (no yield/block/alloc on any path).
   RVK_NO_YIELD void commit_frame(rt::VThread* t);

@@ -35,6 +35,15 @@ class RevocableMonitor : public monitor::MonitorBase {
 
   RVK_MAY_YIELD RVK_MAY_BLOCK RVK_MAY_ALLOC void acquire() override;
 
+  // Abortable acquisition (DESIGN.md §14) with the full revocation-victim
+  // contract of acquire(): every wakeup re-checks pending revocations
+  // (surrendering a held reservation first), and the contending side still
+  // drives inversion/deadlock detection.  Cancellation loses to revocation
+  // when both are pending — rollback of enclosing frames is a correctness
+  // obligation; the persistent cancel flag fails the retry instead.
+  RVK_MAY_YIELD RVK_MAY_BLOCK RVK_MAY_ALLOC bool try_enter(
+      std::uint64_t ticks) override;
+
   Engine& engine() const { return engine_; }
 
   // Thread the monitor is biased towards (DESIGN.md §11): the last owner,

@@ -54,6 +54,19 @@ std::string InvariantRegistry::check_all() {
           << " entries outside any synchronized section (§3.1.2)";
       return oss.str();
     }
+    // Timer-heap / queue-membership consistency (DESIGN.md §14): an armed
+    // timed-block timer means the thread is still parked in some wait
+    // queue.  Every wakeup path — grant, barge, interrupt, cancel — bumps
+    // timer_gen_ via make_runnable, so a live timer for a runnable or
+    // unqueued thread is a disarm that went missing.
+    if (sched_.timer_armed(t, /*timed_block=*/true) &&
+        (t->state() != rt::ThreadState::kBlocked ||
+         t->blocked_on() == nullptr)) {
+      oss << "thread '" << t->name()
+          << "': timed-block timer armed but thread is not parked in a wait "
+             "queue — timer heap and queue membership out of sync (§14)";
+      return oss.str();
+    }
     if (ts == nullptr) continue;
     std::uint64_t last_id = 0;
     std::size_t last_mark = 0;
@@ -120,6 +133,33 @@ std::string InvariantRegistry::check_all() {
       oss << "monitor '" << m->name()
           << "': owned but still reserved for '" << m->reserved()->name()
           << "'";
+      return oss.str();
+    }
+    // Cancellation safety (DESIGN.md §14): an abortable waiter is never
+    // simultaneously cancelled and reserved — cancel() surrenders (and
+    // re-handoffs) the reservation before posting the flag, and try_enter
+    // re-checks the flag with no yield point before parking.  Scoped by
+    // abortable_wait: a cancelled thread in a plain acquire() may still
+    // legitimately hold a reservation.
+    if (rt::VThread* w = m->reserved();
+        w != nullptr && w->abortable_wait && w->cancel_requested) {
+      oss << "monitor '" << m->name() << "': waiter '" << w->name()
+          << "' is simultaneously cancelled and reserved — cancellation "
+             "must surrender the reservation atomically (§14)";
+      return oss.str();
+    }
+    // In-transit accounting (DESIGN.md §13/§14): every thread parked in the
+    // entry queue or wait set sits inside a TransitGuard window, so the
+    // counter can never undercount the queue population.  An abandon path
+    // that decremented twice (or a cancel window that leaked a decrement)
+    // trips this before the deflation predicate could misfire.
+    if (static_cast<std::size_t>(m->in_transit()) <
+        m->entry_queue().size() + m->wait_set().size()) {
+      oss << "monitor '" << m->name() << "': in_transit " << m->in_transit()
+          << " undercounts queue population (" << m->entry_queue().size()
+          << " queued + " << m->wait_set().size()
+          << " waiting) — transit accounting underflowed across an "
+             "abandon/cancel window (§13)";
       return oss.str();
     }
     std::string queue_msg;

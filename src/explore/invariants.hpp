@@ -16,7 +16,11 @@
 //  * only rollback releases grant reservations — ordinary release must
 //    allow barging (§4; CLAUDE.md: "an always-reserving monitor silently
 //    kills the benchmark's priority inversions");
-//  * the section ledger balances: entered == committed + aborted + active.
+//  * the section ledger balances: entered == committed + aborted + active;
+//  * cancellation safety (DESIGN.md §14): an abortable waiter is never
+//    simultaneously cancelled and reserved, an armed timed-block timer
+//    implies the thread is still parked in a queue, and per-monitor
+//    in-transit accounting never undercounts the queue population.
 #pragma once
 
 #include <cstdint>

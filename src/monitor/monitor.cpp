@@ -53,11 +53,21 @@ bool MonitorBase::try_take(rt::VThread* t) {
     ++stats_.steals;  // strictly higher priority displaces the reservation
     obs::on_monitor_barge(t, this, name_);
   }
-  reserved_ = nullptr;
+  set_reserved(nullptr);
   owner_ = t;
   recursion_ = 1;
   owner_priority_ = t->priority();
   return true;
+}
+
+void MonitorBase::set_reserved(rt::VThread* w) {
+  if (reserved_ != nullptr) reserved_->reserved_in = nullptr;
+  // A thread is reserved by at most one monitor at a time: it can only be
+  // granted while parked in THIS entry queue, and it cannot park here while
+  // some other monitor still reserves for it (it would take that one first).
+  RVK_DCHECK(w == nullptr || w->reserved_in == nullptr);
+  reserved_ = w;
+  if (w != nullptr) w->reserved_in = this;
 }
 
 void MonitorBase::release() { do_release(/*reserve=*/false); }
@@ -100,10 +110,122 @@ void MonitorBase::adopt_owner(rt::VThread* t, int recursion) {
 void MonitorBase::handoff(bool reserve) {
   rt::Scheduler* sched = rt::current_scheduler();
   if (rt::VThread* w = entry_queue_.pop_best()) {
-    if (reserve) reserved_ = w;
+    if (reserve) set_reserved(w);
     sched->make_runnable(w);
     ++stats_.handoffs;
   }
+}
+
+bool MonitorBase::try_enter(std::uint64_t ticks) {
+  rt::Scheduler* sched = rt::current_scheduler();
+  RVK_CHECK_MSG(sched != nullptr, "monitor used outside a running scheduler");
+  rt::VThread* t = sched->current_thread();
+  ++stats_.acquires;
+  if (owner_ == t) {
+    // Recursive re-entry by the owner is unconditional (DESIGN.md §14): no
+    // deadline, no cancellation check — the thread already holds the
+    // monitor, so failing here could never make it available to anyone.
+    ++recursion_;
+    return true;
+  }
+  const std::uint64_t start = sched->now();
+  const std::uint64_t deadline = start + ticks;
+  AbortableScope abortable(t);
+  // In transit for the whole loop (and through abandon): a contender that
+  // gives up must still be visible to the deflation quiescence predicate
+  // until its bookkeeping is fully unwound (DESIGN.md §13).
+  TransitGuard transit(*this);
+  bool contended = false;
+  for (;;) {
+    // Cancellation outranks acquisition: a pre-cancelled try_enter fails
+    // before its first attempt (the engine's bias fast path is gated the
+    // same way), making cancel() a barrier against future abortable
+    // acquisitions until cleared.
+    if (t->cancel_requested) {
+      abandon_acquire(t, /*cancelled=*/true, sched->now() - start);
+      return false;
+    }
+    if (try_take(t)) break;
+    if (sched->now() >= deadline) {
+      abandon_acquire(t, /*cancelled=*/false, sched->now() - start);
+      return false;
+    }
+    if (!contended) {
+      contended = true;
+      ++stats_.contended;
+      if (obs::recording()) [[unlikely]] {
+        obs::on_monitor_contend(t, this, name_, blocking_priority(t));
+      }
+    }
+    on_block(t);
+    // No yield point between the cancel check at the loop top and this park
+    // (green-thread atomicity): a cancel request cannot arrive unobserved in
+    // between, which is what makes "an abortable waiter is never parked or
+    // reserved with cancel_requested set" hold at every step boundary — the
+    // property the exploration invariant checks.
+    const bool woken =
+        sched->block_current_on_for(entry_queue_, deadline - sched->now());
+    on_wake(t);
+    if (!woken) {
+      // A timeout can never race a reservation: a reserving handoff's
+      // make_runnable disarmed our timer, and a fired timer removed us from
+      // the entry queue so no later handoff can pick us (DESIGN.md §14).
+      RVK_DCHECK(reserved_ != t);
+      abandon_acquire(t, /*cancelled=*/false, sched->now() - start);
+      return false;
+    }
+  }
+  obs::on_monitor_acquired(t, this, name_, contended);
+  on_acquired(t);
+  return true;
+}
+
+void MonitorBase::abandon_acquire(rt::VThread* t, bool cancelled,
+                                  std::uint64_t waited_ticks) {
+  // One indivisible step, like release: between returning a reservation and
+  // re-handing the monitor there must be no switch point, or an arrival
+  // would see a barging window §5.6 does not allow.
+  rt::ForbiddenRegionGuard region(t);
+  if (reserved_ == t) {
+    // The grant raced the give-up: pass it to the next-best waiter so the
+    // rollback's reservation intent survives the cancellation.
+    set_reserved(nullptr);
+    handoff(/*reserve=*/true);
+  } else if (owner_ == nullptr && reserved_ == nullptr &&
+             !entry_queue_.empty()) {
+    // The abandoning contender may have consumed a release-time wakeup; re-
+    // forward it so that handoff is never lost.  At worst this wakes a
+    // waiter spuriously, which monitor semantics permit (§2.2).
+    handoff(/*reserve=*/false);
+  }
+  ++stats_.aborts;
+  if (cancelled) {
+    ++stats_.cancels;
+  } else {
+    ++stats_.timeouts;
+  }
+  obs::on_monitor_abandon(t, this, name_, cancelled, waited_ticks);
+}
+
+void MonitorBase::cancel(rt::VThread* t) {
+  rt::Scheduler* sched = rt::current_scheduler();
+  RVK_CHECK_MSG(sched != nullptr, "cancel outside a running scheduler");
+  // The surrender, the flag post and the interrupt are one atomic step: a
+  // concurrently scheduled thread sees either the old reservation or the
+  // completed re-handoff plus the flag — never a half-cancelled waiter.
+  rt::ForbiddenRegionGuard region(sched->current_thread());
+  if (t->reserved_in != nullptr) {
+    // §14 fairness: cancellation wins over the grant.  The reservation goes
+    // back to the monitor and on to its next-best waiter before the flag
+    // becomes visible, so a reservation is never left pointing at a thread
+    // that will refuse it.
+    MonitorBase* m = t->reserved_in;
+    RVK_DCHECK(m->reserved_ == t);
+    m->set_reserved(nullptr);
+    m->handoff(/*reserve=*/true);
+  }
+  t->cancel_requested = true;
+  sched->interrupt(t);
 }
 
 void MonitorBase::wait() {

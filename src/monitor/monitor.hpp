@@ -48,6 +48,10 @@ struct MonitorStats {
   std::uint64_t steals = 0;      // reservations displaced by higher priority
   std::uint64_t waits = 0;
   std::uint64_t notifies = 0;
+  // Abortable-acquisition counters (DESIGN.md §14).
+  std::uint64_t aborts = 0;    // try_enter gave up (timeouts + cancels)
+  std::uint64_t timeouts = 0;  // ... because the deadline expired
+  std::uint64_t cancels = 0;   // ... because cancellation was requested
   // Biased-entry counters (DESIGN.md §11; RevocableMonitor only — always
   // zero for the baseline monitors).
   std::uint64_t bias_grants = 0;       // acquires served by the bias predicate
@@ -65,6 +69,38 @@ class MonitorBase {
   // Acquires the monitor, blocking as needed.  Recursive acquisition by the
   // owner succeeds immediately.
   RVK_MAY_YIELD RVK_MAY_BLOCK RVK_MAY_ALLOC virtual void acquire();
+
+  // Abortable acquisition (DESIGN.md §14; CQS-style tryLock(timeout)).
+  // Attempts to acquire within `ticks` virtual ticks from now; returns true
+  // on acquisition, false if the deadline expired or cancellation was
+  // requested (MonitorBase::cancel) before the monitor was taken.  `ticks`
+  // of 0 is a pure tryLock: one attempt, never blocks.  Recursive
+  // acquisition by the owner always succeeds immediately (no timer).
+  // Timeouts ride the scheduler's deadline min-heap; a pending cancellation
+  // fails the call before any acquisition attempt.  On a false return the
+  // thread holds nothing: a reservation granted to it was already returned
+  // (handed off to the next-best waiter) and any wakeup it may have
+  // consumed is re-forwarded, so no waiter is lost and no reservation
+  // leaks.
+  RVK_MAY_YIELD RVK_MAY_BLOCK RVK_MAY_ALLOC virtual bool try_enter(
+      std::uint64_t ticks);
+
+  // Requests cancellation of `t`'s abortable waits.  One atomic step (green-
+  // thread atomicity, enforced as a forbidden region): if a monitor is
+  // currently reserved for `t`, the reservation is surrendered and re-handed
+  // to that monitor's next-best waiter — cancellation wins over the grant —
+  // then the flag is posted and `t` is interrupted out of any park.  A
+  // thread inside plain acquire()/wait() is woken spuriously but does not
+  // abort (Java fidelity: only try_enter observes the flag).  Idempotent;
+  // callable from any thread, including `t` itself.
+  // NO_YIELD: the surrender/re-handoff must be invisible as an intermediate
+  // state — a concurrently-scheduled thread must see either the old
+  // reservation or the completed re-handoff, never a reservation-less gap.
+  RVK_NO_YIELD static void cancel(rt::VThread* t);
+
+  // Clears a previously-posted cancellation request so `t`'s later
+  // abortable waits proceed normally.
+  static void clear_cancel(rt::VThread* t) { t->cancel_requested = false; }
 
   // Releases one level of ownership; frees the monitor (waking the best
   // waiter) when the recursion count reaches zero.  Arrivals may barge in
@@ -142,6 +178,40 @@ class MonitorBase {
   // taker's priority on success.
   bool try_take(rt::VThread* t);
 
+  // Sole writer of reserved_: keeps the VThread::reserved_in back-link (the
+  // O(1) map cancellation uses to find the reserving monitor) in lockstep.
+  // Every reservation grant, consumption, steal and surrender goes through
+  // here.
+  RVK_NO_YIELD void set_reserved(rt::VThread* w);
+
+  // Unwinds a contender that gives up (timeout or cancellation) without
+  // acquiring.  Returns a reservation held for `t` (re-handing the monitor
+  // to the next-best waiter) and re-forwards a wakeup `t` may have consumed
+  // while the monitor is free, so abandoning never strands a waiter.  Bumps
+  // the abort counters; `waited_ticks` feeds the obs abandon-latency
+  // histogram.
+  // NO_YIELD: like release, the give-up must be one indivisible step — a
+  // half-returned reservation would be a barging window §5.6 does not allow.
+  RVK_NO_YIELD void abandon_acquire(rt::VThread* t, bool cancelled,
+                                    std::uint64_t waited_ticks);
+
+  // Scopes VThread::abortable_wait over try_enter's contended loop (RAII so
+  // a RollbackException unwinding out of RevocableMonitor::try_enter clears
+  // it).  The flag is what narrows the "never cancelled AND reserved"
+  // invariant to abortable waiters.
+  class AbortableScope {
+   public:
+    explicit AbortableScope(rt::VThread* t) : t_(t) {
+      t_->abortable_wait = true;
+    }
+    ~AbortableScope() { t_->abortable_wait = false; }
+    AbortableScope(const AbortableScope&) = delete;
+    AbortableScope& operator=(const AbortableScope&) = delete;
+
+   private:
+    rt::VThread* t_;
+  };
+
   // Pops the best entry-queue waiter and makes it runnable; if `reserve`,
   // additionally reserves the monitor for it.  Called with the monitor free.
   RVK_NO_YIELD void handoff(bool reserve);
@@ -179,6 +249,25 @@ class MonitorBase {
 class BlockingMonitor final : public MonitorBase {
  public:
   explicit BlockingMonitor(std::string name) : MonitorBase(std::move(name)) {}
+};
+
+// Cancellation handle for one thread's abortable waits (DESIGN.md §14).
+// A thin, copyable wrapper over MonitorBase::cancel: request() aborts the
+// target's in-progress and future try_enter calls until clear().  The
+// token does not own the thread; it must not outlive the scheduler run.
+class CancelToken {
+ public:
+  explicit CancelToken(rt::VThread* t) : t_(t) {}
+
+  // Posts the cancellation (surrendering any reservation held for the
+  // target and interrupting it out of a park).  Safe to call repeatedly.
+  RVK_NO_YIELD void request() const { MonitorBase::cancel(t_); }
+  bool requested() const { return t_->cancel_requested; }
+  void clear() const { MonitorBase::clear_cancel(t_); }
+  rt::VThread* target() const { return t_; }
+
+ private:
+  rt::VThread* t_;
 };
 
 }  // namespace rvk::monitor

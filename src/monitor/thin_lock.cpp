@@ -68,6 +68,52 @@ void ThinLock::acquire() {
   m.acquire();
 }
 
+bool ThinLock::try_acquire(std::uint64_t ticks) {
+  rt::VThread* t = rt::current_vthread();
+  RVK_CHECK_MSG(t != nullptr, "thin lock used outside a running scheduler");
+  const std::uint32_t tid = t->id();
+  if (!LockWord::fits_owner(tid)) [[unlikely]] {
+    MonitorBase* existing = MonitorTable::global().monitor_at(word_);
+    MonitorBase& m =
+        existing != nullptr ? *existing : inflate(InflationCause::kOverflow);
+    ++stats_.heavy_acquires;
+    return m.try_enter(ticks);
+  }
+  // Word-only paths are exactly acquire()'s: none of them can block, so the
+  // deadline is irrelevant and they always succeed.
+  if (word_ == LockWord::biased(tid) || word_.is_free() ||
+      word_.is_biased()) {
+    word_ = LockWord::thin(tid, 1);
+    ++stats_.thin_acquires;
+    return true;
+  }
+  if (word_.is_inflated()) {
+    MonitorBase* m = MonitorTable::global().monitor_at(word_);
+    RVK_CHECK_MSG(m != nullptr, "thin lock holds a stale inflated word");
+    ++stats_.heavy_acquires;
+    return m->try_enter(ticks);
+  }
+  // Thin.
+  if (word_.owner_id() == tid) {
+    const std::uint32_t count = word_.count();
+    if (count == kMaxCount) {
+      MonitorBase& m = inflate(InflationCause::kOverflow);
+      ++stats_.heavy_acquires;
+      return m.try_enter(ticks);  // recursive on the fat monitor: instant
+    }
+    word_ = LockWord::thin(tid, count + 1);
+    ++stats_.thin_acquires;
+    return true;
+  }
+  // Contended thin word.  A zero-tick probe fails without inflating; a
+  // bounded wait inflates (the timer needs a fat entry queue to park on)
+  // and contends like acquire() does.
+  if (ticks == 0) return false;
+  MonitorBase& m = inflate(InflationCause::kContention);
+  ++stats_.heavy_acquires;
+  return m.try_enter(ticks);
+}
+
 void ThinLock::release() {
   if (word_.is_inflated()) {
     MonitorTable& table = MonitorTable::global();

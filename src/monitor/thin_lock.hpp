@@ -30,6 +30,7 @@
 
 #include "monitor/lock_word.hpp"
 #include "monitor/monitor_table.hpp"
+#include "support/annotations.hpp"
 
 namespace rvk::monitor {
 
@@ -57,6 +58,15 @@ class ThinLock {
   ThinLock& operator=(const ThinLock&) = delete;
 
   void acquire();
+
+  // Abortable acquire (DESIGN.md §14): every path of acquire() that cannot
+  // block — biased, free, thin-recursive — succeeds instantly regardless of
+  // `ticks`; the heavy paths delegate to MonitorBase::try_enter(ticks).  A
+  // pure tryLock (`ticks == 0`) against another thread's thin word fails
+  // WITHOUT inflating — a probe that does not intend to wait should not
+  // force the lock fat.  Returns true iff the lock was taken.
+  RVK_MAY_YIELD RVK_MAY_BLOCK RVK_MAY_ALLOC bool try_acquire(
+      std::uint64_t ticks);
 
   // Releases one level; a full release of an inflated lock opportunistically
   // deflates the slot when quiescent — strictly AFTER the inner

@@ -13,6 +13,7 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kMonitorAcquire: return "monitor-acquire";
     case EventKind::kMonitorRelease: return "monitor-release";
     case EventKind::kMonitorBarge:   return "monitor-barge";
+    case EventKind::kMonitorAbandon: return "monitor-abandon";
     case EventKind::kSectionEnter:   return "section-enter";
     case EventKind::kSectionCommit:  return "section-commit";
     case EventKind::kSectionAbort:   return "section-abort";

@@ -30,6 +30,7 @@ enum class EventKind : std::uint8_t {
   kMonitorAcquire,  // took ownership (non-recursive); b = 1 if was contended
   kMonitorRelease,  // dropped ownership fully; b = 1 if reserving (rollback)
   kMonitorBarge,    // displaced a rollback reservation (higher priority)
+  kMonitorAbandon,  // try_enter gave up; b = 1 if cancelled, 0 if timed out
 
   // Engine (core/): a = frame id, b = kind-specific.
   kSectionEnter,

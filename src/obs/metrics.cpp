@@ -129,6 +129,7 @@ void publish(Registry& r, const core::EngineStats& s,
   r.counter(p + "spec_allocs_reclaimed") += s.spec_allocs_reclaimed;
   r.counter(p + "words_undone") += s.words_undone;
   r.counter(p + "log_appends") += s.log_appends;
+  r.counter(p + "entry_aborts") += s.entry_aborts;
 }
 
 void publish(Registry& r, const monitor::MonitorStats& s,
@@ -143,6 +144,9 @@ void publish(Registry& r, const monitor::MonitorStats& s,
   r.counter(p + "notifies") += s.notifies;
   r.counter(p + "bias_grants") += s.bias_grants;
   r.counter(p + "bias_revocations") += s.bias_revocations;
+  r.counter(p + "aborts") += s.aborts;
+  r.counter(p + "timeouts") += s.timeouts;
+  r.counter(p + "cancels") += s.cancels;
 }
 
 void publish(Registry& r, const monitor::MonitorTableStats& s,

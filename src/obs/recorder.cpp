@@ -63,6 +63,7 @@ Recorder::Recorder(RecorderConfig cfg)
   contention_wait_ticks_ =
       &registry_.histogram("monitor.contention_wait_ticks");
   contention_wait_ns_ = &registry_.histogram("monitor.contention_wait_ns");
+  abandon_wait_ticks_ = &registry_.histogram("monitor.abandon_wait_ticks");
   inversion_ticks_ = &registry_.histogram("inversion.resolution_ticks");
   inversion_ns_ = &registry_.histogram("inversion.resolution_ns");
   rollback_ticks_ = &registry_.histogram("rollback.latency_ticks");
@@ -293,6 +294,28 @@ void Recorder::record_monitor_release(rt::VThread* t, const void* m,
        reinterpret_cast<std::uintptr_t>(m), reserving ? 1 : 0);
 }
 
+void Recorder::record_monitor_abandon(rt::VThread* t, const void* m,
+                                      std::string_view name, bool cancelled,
+                                      std::uint64_t waited_ticks) {
+  // Forbidden-safe: abandon_acquire fires this inside its forbidden region —
+  // find-only profile lookup, pre-sized histogram record, ring store.
+  auto it = profiles_.find(name);
+  if (it != profiles_.end()) ++it->second.aborts;
+  abandon_wait_ticks_->record(waited_ticks);
+  ThreadSide* s = side_of(t);
+  if (s == nullptr) {
+    ++orphan_events_;
+    return;
+  }
+  // The contention window closed without an acquisition: drop the pending
+  // contend→acquire stamps so a later, unrelated acquire cannot absorb this
+  // abandoned wait into the latency histograms.
+  s->wait_pending = false;
+  s->inversion_pending = false;
+  push(*s, t, EventKind::kMonitorAbandon, reinterpret_cast<std::uintptr_t>(m),
+       cancelled ? 1 : 0);
+}
+
 void Recorder::record_engine(EventKind kind, rt::VThread* t,
                              std::uint64_t frame, const void* m,
                              std::uint64_t aux) {
@@ -394,6 +417,7 @@ void Recorder::export_metrics(
     registry_.set(prefix + "reserving_releases", p.reserving_releases);
     registry_.set(prefix + "barges", p.barges);
     registry_.set(prefix + "wait_ticks", p.wait_ticks);
+    registry_.set(prefix + "aborts", p.aborts);
   }
   registry_.write_json(os, context);
 }

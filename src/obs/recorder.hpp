@@ -66,6 +66,7 @@ struct MonitorProfile {
   std::uint64_t reserving_releases = 0;  // rollback releases (reservations)
   std::uint64_t barges = 0;     // reservation displacements
   std::uint64_t wait_ticks = 0; // summed contend→acquire virtual ticks
+  std::uint64_t aborts = 0;     // abortable acquisitions that gave up (§14)
 };
 
 class Recorder {
@@ -147,6 +148,11 @@ class Recorder {
   RVK_NO_YIELD void record_monitor_release(rt::VThread* t, const void* m,
                                            std::string_view name,
                                            bool reserving);  // forbidden-safe
+  RVK_NO_YIELD void record_monitor_abandon(rt::VThread* t, const void* m,
+                                           std::string_view name,
+                                           bool cancelled,
+                                           std::uint64_t waited_ticks);
+  // forbidden-safe: fires inside abandon_acquire's forbidden region
   RVK_NO_YIELD void record_engine(EventKind kind, rt::VThread* t,
                                   std::uint64_t frame, const void* m,
                                   std::uint64_t aux);    // forbidden-safe
@@ -226,6 +232,7 @@ class Recorder {
   // Pre-created histogram/counter references for the forbidden-safe paths.
   Histogram* contention_wait_ticks_;
   Histogram* contention_wait_ns_;
+  Histogram* abandon_wait_ticks_;
   Histogram* inversion_ticks_;
   Histogram* inversion_ns_;
   Histogram* rollback_ticks_;
@@ -294,6 +301,15 @@ inline void on_monitor_release(rt::VThread* t, const void* m,
                                std::string_view name, bool reserving) {
   if (detail::g_recorder != nullptr) [[unlikely]] {
     detail::g_recorder->record_monitor_release(t, m, name, reserving);
+  }
+}
+
+inline void on_monitor_abandon(rt::VThread* t, const void* m,
+                               std::string_view name, bool cancelled,
+                               std::uint64_t waited_ticks) {
+  if (detail::g_recorder != nullptr) [[unlikely]] {
+    detail::g_recorder->record_monitor_abandon(t, m, name, cancelled,
+                                               waited_ticks);
   }
 }
 

@@ -447,6 +447,16 @@ void Scheduler::run() {
   }
 }
 
+bool Scheduler::timer_armed(const VThread* t, bool timed_block) const {
+  for (const Timer& tm : timers_) {
+    if (tm.thread == t && tm.timed_block == timed_block &&
+        tm.gen == t->timer_gen_) {
+      return true;
+    }
+  }
+  return false;
+}
+
 VThread* Scheduler::thread_by_id(ThreadId id) const {
   for (const auto& t : threads_) {
     if (t->id() == id) return t.get();

@@ -178,7 +178,8 @@ class Scheduler {
   // Asynchronous wakeup: if `t` is blocked or sleeping, removes it from its
   // queue / the sleep set, sets t->interrupted, and makes it runnable.  Used
   // to deliver revocation requests to blocked victims.
-  void interrupt(VThread* t);
+  // NO_YIELD: monitor cancellation calls this inside its forbidden region.
+  RVK_NO_YIELD void interrupt(VThread* t);
 
   // ---- Engine hooks ----
 
@@ -234,6 +235,11 @@ class Scheduler {
   // ids); nullptr if unknown.
   VThread* thread_by_id(ThreadId id) const;
   std::size_t live_count() const { return live_count_; }
+
+  // True if the deadline heap still holds a live (non-stale-generation)
+  // timer for `t` of the given flavour.  O(timers) scan — invariant-checking
+  // introspection only, never on a runtime path.
+  bool timer_armed(const VThread* t, bool timed_block) const;
 
   // Writes a one-line-per-thread dump to stderr (stall diagnostics).
   void dump_threads() const;

@@ -29,6 +29,10 @@
 #include "rt/stack.hpp"
 #include "rt/wait_queue.hpp"
 
+namespace rvk::monitor {
+class MonitorBase;  // back-link target only; rt/ never dereferences it
+}
+
 namespace rvk::rt {
 
 class Scheduler;
@@ -158,6 +162,30 @@ class VThread {
 
   // Set when a timed block (block_current_on_for) expired before a wakeup.
   bool timed_out = false;
+
+  // ---- Abortable acquisition (DESIGN.md §14) ----
+
+  // Cancellation request posted by monitor::MonitorBase::cancel (or a
+  // CancelToken).  Abortable waits (try_enter / cancellable wait) observe it
+  // and abandon; plain acquire()/wait() deliberately ignore it (Java
+  // fidelity: lock acquisition is not interruptible).
+  bool cancel_requested = false;
+
+  // True while the thread is parked (or looping) inside an abortable
+  // acquisition (MonitorBase::try_enter).  Scopes the "never cancelled AND
+  // reserved" invariant: a cancelled thread in a plain acquire() may still
+  // legitimately be granted a reservation.
+  bool abortable_wait = false;
+
+  // Back-link to the monitor currently reserving for this thread (mirror of
+  // MonitorBase::reserved_ == this; maintained exclusively by the monitor
+  // layer via set_reserved).  Lets cancellation return a reservation in O(1)
+  // without scanning monitors.  rt/ stores but never dereferences it.
+  monitor::MonitorBase* reserved_in = nullptr;
+
+  // Queue this thread is currently parked in, nullptr when not parked.
+  // Introspection for invariant checking (explore/) — comparison only.
+  const WaitQueue* blocked_on() const { return blocked_on_; }
 
   // Internal: context-trampoline target; runs the user body, capturing any
   // escaping exception.  Not for direct use.

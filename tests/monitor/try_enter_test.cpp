@@ -1,0 +1,346 @@
+// Abortable acquisition (MonitorBase::try_enter, DESIGN.md §14) on the
+// virtual clock: tick-exact expiry, FIFO among equal deadlines, recursive
+// entry, pure tryLock, cancellation of parked and not-yet-parked waiters,
+// reservation surrender, and exact in-transit accounting across cancel
+// windows.  All assertions are deterministic virtual-clock assertions —
+// no wall-clock anywhere (CLAUDE.md).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "monitor/monitor.hpp"
+#include "monitor/thin_lock.hpp"
+#include "rt/scheduler.hpp"
+
+namespace rvk::monitor {
+namespace {
+
+TEST(TryEnterTest, ExpiresExactlyAtTickBoundary) {
+  rt::Scheduler s;
+  BlockingMonitor m("m");
+  bool got = true;
+  std::uint64_t start = 0, woke = 0;
+  s.spawn("holder", rt::kNormPriority, [&] {
+    m.acquire();
+    s.sleep_for(100);  // held past the waiter's deadline
+    m.release();
+  });
+  s.spawn("waiter", rt::kNormPriority, [&] {
+    start = s.now();
+    got = m.try_enter(30);
+    woke = s.now();
+  });
+  s.run();
+  EXPECT_FALSE(got);
+  // With every other thread asleep the clock jumps straight to the timer
+  // deadline: expiry is exact, not approximate.
+  EXPECT_EQ(woke - start, 30u);
+  EXPECT_EQ(m.stats().aborts, 1u);
+  EXPECT_EQ(m.stats().timeouts, 1u);
+  EXPECT_EQ(m.stats().cancels, 0u);
+  EXPECT_EQ(m.in_transit(), 0);
+}
+
+TEST(TryEnterTest, EqualDeadlinesExpireFifo) {
+  rt::Scheduler s;
+  BlockingMonitor m("m");
+  std::vector<int> order;
+  s.spawn("holder", rt::kNormPriority, [&] {
+    m.acquire();
+    s.sleep_for(100);
+    m.release();
+  });
+  // Same priority, same deadline: the timer heap's sequence number must
+  // break the tie FIFO — first armed, first expired.
+  s.spawn("w1", rt::kNormPriority, [&] {
+    EXPECT_FALSE(m.try_enter(40));
+    order.push_back(1);
+  });
+  s.spawn("w2", rt::kNormPriority, [&] {
+    EXPECT_FALSE(m.try_enter(40));
+    order.push_back(2);
+  });
+  s.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(TryEnterTest, RecursiveEntryIgnoresDeadline) {
+  rt::Scheduler s;
+  BlockingMonitor m("m");
+  s.spawn("owner", rt::kNormPriority, [&] {
+    ASSERT_TRUE(m.try_enter(10));
+    const std::uint64_t before = s.now();
+    EXPECT_TRUE(m.try_enter(0));  // recursive: instant, no timer
+    EXPECT_EQ(s.now(), before);
+    EXPECT_EQ(m.recursion(), 2);
+    m.release();
+    m.release();
+  });
+  s.run();
+  EXPECT_EQ(m.owner(), nullptr);
+  EXPECT_EQ(m.stats().aborts, 0u);
+}
+
+TEST(TryEnterTest, ZeroTicksIsPureTryLock) {
+  rt::Scheduler s;
+  BlockingMonitor m("m");
+  bool got = true;
+  std::uint64_t before = 0, after = 0;
+  s.spawn("holder", rt::kNormPriority, [&] {
+    m.acquire();
+    s.sleep_for(20);  // held while the prober runs
+    m.release();
+  });
+  s.spawn("prober", rt::kNormPriority, [&] {
+    before = s.now();
+    got = m.try_enter(0);
+    after = s.now();
+  });
+  s.run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(before, after);  // never blocked, never armed a timer
+  EXPECT_EQ(m.stats().timeouts, 1u);
+}
+
+TEST(TryEnterTest, SucceedsBeforeDeadlineAndDisarmsTimer) {
+  rt::Scheduler s;
+  BlockingMonitor m("m");
+  bool got = false;
+  s.spawn("holder", rt::kNormPriority, [&] {
+    m.acquire();
+    s.sleep_for(10);
+    m.release();  // well before the waiter's deadline
+  });
+  s.spawn("waiter", rt::kNormPriority, [&] {
+    got = m.try_enter(1000);
+    // The grant's make_runnable bumped timer_gen_: the heap entry is stale.
+    EXPECT_FALSE(s.timer_armed(s.current_thread(), /*timed_block=*/true));
+    m.release();
+  });
+  s.run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(m.stats().aborts, 0u);
+  EXPECT_EQ(m.in_transit(), 0);
+}
+
+TEST(TryEnterTest, CancelAbortsParkedWaiterBeforeDeadline) {
+  rt::Scheduler s;
+  BlockingMonitor m("m");
+  bool got = true;
+  std::uint64_t start = 0, woke = 0;
+  s.spawn("holder", rt::kNormPriority, [&] {
+    m.acquire();
+    s.sleep_for(500);
+    m.release();
+  });
+  rt::VThread* w = s.spawn("waiter", rt::kNormPriority, [&] {
+    start = s.now();
+    got = m.try_enter(1000);
+    woke = s.now();
+  });
+  s.spawn("canceller", rt::kNormPriority, [&s, w] {
+    s.sleep_for(20);
+    MonitorBase::cancel(w);
+  });
+  s.run();
+  EXPECT_FALSE(got);
+  EXPECT_LT(woke - start, 1000u);  // aborted by the cancel, not the timer
+  EXPECT_EQ(m.stats().cancels, 1u);
+  EXPECT_EQ(m.stats().timeouts, 0u);
+  EXPECT_EQ(m.in_transit(), 0);
+  EXPECT_TRUE(w->cancel_requested);  // sticky until cleared
+}
+
+TEST(TryEnterTest, PendingCancelFailsBeforeBlocking) {
+  rt::Scheduler s;
+  BlockingMonitor m("m");
+  bool first = true, second = false;
+  s.spawn("holder", rt::kNormPriority, [&] {
+    m.acquire();
+    for (int i = 0; i < 10; ++i) s.yield_point();
+    m.release();
+  });
+  s.spawn("waiter", rt::kNormPriority, [&] {
+    MonitorBase::cancel(s.current_thread());  // self-cancel, pre-posted
+    const std::uint64_t before = s.now();
+    first = m.try_enter(1000);
+    EXPECT_EQ(s.now(), before);  // failed without parking
+    MonitorBase::clear_cancel(s.current_thread());
+    second = m.try_enter(1000);  // cleared: proceeds normally
+    if (second) m.release();
+  });
+  s.run();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+  EXPECT_EQ(m.stats().cancels, 1u);
+}
+
+TEST(TryEnterTest, CancelReturnsReservationToNextWaiter) {
+  rt::Scheduler s;
+  BlockingMonitor m("m");
+  bool w_got = true;
+  bool v_got = false;
+  rt::VThread* w = nullptr;
+  s.spawn("holder", 5, [&] {
+    m.acquire();
+    s.sleep_for(10);  // held while both waiters arrive and park
+    m.release_reserving();  // rollback-style release: reserves best waiter
+    EXPECT_EQ(m.reserved(), w);
+    // Cancel the reserved waiter in the same atomic stretch (no yield since
+    // the reservation): cancellation must surrender the grant and re-handoff
+    // to the next-best waiter — never both, never neither (§14).
+    MonitorBase::cancel(w);
+    EXPECT_NE(m.reserved(), w);
+    EXPECT_NE(m.reserved(), nullptr);
+  });
+  w = s.spawn("W", 6, [&] {
+    s.sleep_for(2);  // let the lower-priority holder acquire first
+    w_got = m.try_enter(200);
+  });
+  s.spawn("V", 4, [&] {
+    s.sleep_for(2);
+    m.acquire();  // plain acquire: unaffected by W's cancellation
+    v_got = true;
+    m.release();
+  });
+  s.run();
+  EXPECT_FALSE(w_got);
+  EXPECT_TRUE(v_got);
+  EXPECT_EQ(m.stats().reservations, 1u);  // only the rollback release counts
+  EXPECT_EQ(m.stats().cancels, 1u);
+  EXPECT_EQ(m.reserved(), nullptr);
+  EXPECT_EQ(m.in_transit(), 0);
+}
+
+TEST(TryEnterTest, CancelDuringWaitForIsASpuriousWakeup) {
+  // Java fidelity: plain wait()/wait_for() do not observe cancellation —
+  // the interrupt is delivered as a spurious wakeup (§2.2 permits them),
+  // the monitor is reacquired normally, nothing is counted as aborted, and
+  // the in-transit accounting the §13 quiescence predicate reads stays
+  // exact across the cancel window.
+  rt::Scheduler s;
+  BlockingMonitor m("m");
+  bool woken_early = false;
+  std::uint64_t start = 0, woke = 0;
+  rt::VThread* w = s.spawn("waiter", rt::kNormPriority, [&] {
+    m.acquire();
+    start = s.now();
+    woken_early = m.wait_for(300);
+    woke = s.now();
+    EXPECT_TRUE(m.held_by_current());  // reacquired despite the cancel
+    m.release();
+  });
+  s.spawn("canceller", rt::kNormPriority, [&s, w] {
+    s.sleep_for(50);
+    MonitorBase::cancel(w);
+  });
+  s.run();
+  EXPECT_TRUE(woken_early);  // spurious wakeup, not a timeout
+  EXPECT_GE(woke - start, 50u);
+  EXPECT_LT(woke - start, 300u);  // well before the deadline
+  EXPECT_EQ(m.stats().cancels, 0u);  // no abortable wait was aborted
+  EXPECT_EQ(m.in_transit(), 0);
+  EXPECT_EQ(m.wait_set().size(), 0u);
+}
+
+TEST(TryEnterTest, CancelTokenRoundTrip) {
+  rt::Scheduler s;
+  BlockingMonitor m("m");
+  s.spawn("t", rt::kNormPriority, [&] {
+    CancelToken tok(s.current_thread());
+    EXPECT_FALSE(tok.requested());
+    tok.request();
+    EXPECT_TRUE(tok.requested());
+    EXPECT_FALSE(m.try_enter(0));  // even a free monitor refuses
+    tok.clear();
+    EXPECT_FALSE(tok.requested());
+    EXPECT_TRUE(m.try_enter(0));
+    m.release();
+    EXPECT_EQ(tok.target(), s.current_thread());
+  });
+  s.run();
+  EXPECT_EQ(m.stats().cancels, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ThinLock::try_acquire — the lock-word adapter.
+
+TEST(ThinTryAcquireTest, UncontendedPathsNeverArmTimers) {
+  rt::Scheduler s;
+  ThinLock l("l");
+  s.spawn("t", rt::kNormPriority, [&] {
+    const std::uint64_t before = s.now();
+    EXPECT_TRUE(l.try_acquire(0));   // free word
+    EXPECT_TRUE(l.try_acquire(0));   // thin recursive
+    l.release();
+    l.release();                     // parks the word biased
+    EXPECT_TRUE(l.try_acquire(0));   // biased re-acquire
+    l.release();
+    EXPECT_EQ(s.now(), before);
+    EXPECT_FALSE(l.inflated());
+  });
+  s.run();
+  EXPECT_EQ(l.stats().thin_acquires, 3u);
+  EXPECT_EQ(l.stats().inflations, 0u);
+}
+
+TEST(ThinTryAcquireTest, ZeroTickProbeOnContendedWordDoesNotInflate) {
+  rt::Scheduler s;
+  ThinLock l("l");
+  bool probed = true;
+  s.spawn("holder", rt::kNormPriority, [&] {
+    l.acquire();
+    s.sleep_for(20);  // held (thin) while the prober runs
+    l.release();
+  });
+  s.spawn("prober", rt::kNormPriority, [&] {
+    probed = l.try_acquire(0);
+    EXPECT_FALSE(l.inflated());  // the probe must not force the lock fat
+  });
+  s.run();
+  EXPECT_FALSE(probed);
+  EXPECT_EQ(l.stats().inflations, 0u);
+}
+
+TEST(ThinTryAcquireTest, BoundedWaitInflatesAndTimesOutExactly) {
+  rt::Scheduler s;
+  ThinLock l("l");
+  bool got = true;
+  std::uint64_t start = 0, woke = 0;
+  s.spawn("holder", rt::kNormPriority, [&] {
+    l.acquire();
+    s.sleep_for(100);
+    l.release();
+  });
+  s.spawn("waiter", rt::kNormPriority, [&] {
+    start = s.now();
+    got = l.try_acquire(25);
+    woke = s.now();
+  });
+  s.run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(woke - start, 25u);
+  EXPECT_EQ(l.stats().inflation_by_contention, 1u);
+}
+
+TEST(ThinTryAcquireTest, BoundedWaitSucceedsWhenHolderReleasesInTime) {
+  rt::Scheduler s;
+  ThinLock l("l");
+  bool got = false;
+  s.spawn("holder", rt::kNormPriority, [&] {
+    l.acquire();
+    s.sleep_for(10);
+    l.release();
+  });
+  s.spawn("waiter", rt::kNormPriority, [&] {
+    got = l.try_acquire(1000);
+    if (got) l.release();
+  });
+  s.run();
+  EXPECT_TRUE(got);
+}
+
+}  // namespace
+}  // namespace rvk::monitor

@@ -1,0 +1,35 @@
+// Mutation fixture for DESIGN.md §14: cancellation's dequeue-and-rehandoff
+// must be one indivisible step.  A yield point between surrendering the
+// reservation and re-handing the monitor opens exactly the barging window
+// §5.6 forbids — a concurrent arrival would see a free, unreserved monitor
+// whose rightful next owner is still being chosen.  The config lists
+// mon::Monitor::cancel as a forbidden root; the checker must flag the
+// seeded switch point inside it.
+#include "sched.hpp"
+
+namespace mon {
+
+struct Monitor {
+  int reserved_;
+  int queued_;
+  void cancel(Sched* s, int t);
+  RVK_NO_YIELD void rehandoff();
+};
+
+void Monitor::cancel(Sched* s, int t) {
+  if (reserved_ == t) {
+    reserved_ = 0;  // surrender the grant...
+    s->yield_point();  // SEEDED VIOLATION: switch point mid-cancel-dequeue
+    rehandoff();  // ...and only then pick the next-best waiter
+  }
+  s->interrupt(t);
+}
+
+void Monitor::rehandoff() {
+  if (queued_ != 0) {
+    queued_ = queued_ - 1;
+    reserved_ = queued_;
+  }
+}
+
+}  // namespace mon
