@@ -14,12 +14,12 @@
 #include <cstdio>
 #include <memory>
 
-#include "common/histogram.hpp"
 #include "common/rng.hpp"
 #include "core/engine.hpp"
 #include "heap/heap.hpp"
 #include "monitor/monitor.hpp"
 #include "rt/scheduler.hpp"
+#include "svc/latency.hpp"
 
 namespace {
 
@@ -33,8 +33,13 @@ constexpr int kBatchOps = 2000;
 constexpr int kTellerOps = 40;
 constexpr int kRounds = 40;  // operations per thread
 
+// Tier indices into the shared per-tier recorder (svc/latency.hpp) — the
+// same percentile/report surface the open-loop macro_open sweep uses.
+constexpr std::size_t kAuditorTier = 0;
+constexpr std::size_t kTellerTier = 1;
+
 struct Result {
-  Histogram auditor, teller;
+  svc::TierRecorder recorder{{"auditor", "teller"}};
   std::uint64_t total_ticks = 0;
   std::uint64_t rollbacks = 0;
 };
@@ -110,7 +115,7 @@ Result run(bool revocable) {
             sched.yield_point();
           }
         });
-        result.teller.record(sched.now() - t0);
+        result.recorder.record_latency(kTellerTier, sched.now() - t0);
       }
     });
   }
@@ -129,7 +134,7 @@ Result run(bool revocable) {
             sched.yield_point();
           }
         });
-        result.auditor.record(sched.now() - t0);
+        result.recorder.record_latency(kAuditorTier, sched.now() - t0);
         RVK_CHECK_MSG(total >= kAccounts * 1000,
                       "ledger lost money: inconsistent snapshot");
       }
@@ -151,18 +156,20 @@ int main() {
       kAccounts, kBatchWorkers, kBatchOps, kTellers, kAuditors);
   const Result blocking = run(false);
   const Result revoking = run(true);
-  std::printf("blocking VM:\n  auditor latency (ticks): %s\n"
-              "  teller  latency (ticks): %s\n  total %llu ticks\n\n",
-              blocking.auditor.summary().c_str(),
-              blocking.teller.summary().c_str(),
-              static_cast<unsigned long long>(blocking.total_ticks));
-  std::printf("revocable VM (%llu rollbacks):\n"
-              "  auditor latency (ticks): %s\n"
-              "  teller  latency (ticks): %s\n  total %llu ticks\n\n",
-              static_cast<unsigned long long>(revoking.rollbacks),
-              revoking.auditor.summary().c_str(),
-              revoking.teller.summary().c_str(),
-              static_cast<unsigned long long>(revoking.total_ticks));
+  std::printf(
+      "blocking VM:\n  auditor latency (ticks): %s\n"
+      "  teller  latency (ticks): %s\n  total %llu ticks\n\n",
+      blocking.recorder.summary(kAuditorTier, blocking.total_ticks).c_str(),
+      blocking.recorder.summary(kTellerTier, blocking.total_ticks).c_str(),
+      static_cast<unsigned long long>(blocking.total_ticks));
+  std::printf(
+      "revocable VM (%llu rollbacks):\n"
+      "  auditor latency (ticks): %s\n"
+      "  teller  latency (ticks): %s\n  total %llu ticks\n\n",
+      static_cast<unsigned long long>(revoking.rollbacks),
+      revoking.recorder.summary(kAuditorTier, revoking.total_ticks).c_str(),
+      revoking.recorder.summary(kTellerTier, revoking.total_ticks).c_str(),
+      static_cast<unsigned long long>(revoking.total_ticks));
   std::printf(
       "Expected shape: auditor p95/p99 collapse from ~batch length to ~its\n"
       "own snapshot cost under revocation; tellers (medium priority) gain\n"

@@ -46,7 +46,8 @@ std::string Histogram::summary() const {
   std::ostringstream os;
   os << "n=" << count_ << " mean=" << static_cast<std::uint64_t>(mean())
      << " p50=" << percentile(0.50) << " p95=" << percentile(0.95)
-     << " p99=" << percentile(0.99) << " max=" << max_;
+     << " p99=" << percentile(0.99) << " p999=" << percentile(0.999)
+     << " max=" << max_;
   return os.str();
 }
 

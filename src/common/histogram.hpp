@@ -29,10 +29,19 @@ class Histogram {
                        : static_cast<double>(sum_) / static_cast<double>(count_);
   }
 
-  // Value at quantile q in [0,1] (upper bound of the containing bucket).
+  // Value at quantile q in [0,1] — any q, including deep-tail quantiles
+  // like 0.999.  Returns the upper bound of the bucket containing the
+  // rank-q sample, clamped to the observed maximum, so the error bound is
+  // the bucket width:
+  //   * values below kSubBuckets (16) have unit-wide buckets — EXACT;
+  //   * larger values sit in buckets of width 2^(e-4) for magnitude 2^e,
+  //     so the reported quantile is never below the true sample and
+  //     overshoots it by strictly less than 1/16 (6.25%) relative error.
+  // The clamp to max() keeps even p999/p100 inside observed reality when
+  // the tail bucket is sparse.
   std::uint64_t percentile(double q) const;
 
-  // "p50=… p95=… p99=… max=…" one-liner.
+  // "p50=… p95=… p99=… p999=… max=…" one-liner.
   std::string summary() const;
 
   void merge(const Histogram& other);

@@ -93,7 +93,8 @@ void Registry::write_json(
       os << "\"run_type\": \"histogram\", \"count\": " << h.count()
          << ", \"mean\": " << h.mean() << ", \"p50\": " << h.percentile(0.50)
          << ", \"p95\": " << h.percentile(0.95)
-         << ", \"p99\": " << h.percentile(0.99) << ", \"max\": " << h.max()
+         << ", \"p99\": " << h.percentile(0.99)
+         << ", \"p999\": " << h.percentile(0.999) << ", \"max\": " << h.max()
          << "}";
     } else {
       os << "\"run_type\": \"counter\", \"value\": " << e->value << "}";

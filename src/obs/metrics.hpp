@@ -87,8 +87,10 @@ class Registry {
   // Writes the registry as a google-benchmark-shaped JSON document:
   //   {"context": {...}, "benchmarks": [{"name": ..., ...}, ...]}
   // Counters carry "run_type":"counter" and a "value"; histograms carry
-  // "run_type":"histogram" with count/mean/p50/p95/p99/max.  `context` pairs
-  // are emitted verbatim (string values, JSON-escaped).
+  // "run_type":"histogram" with count/mean/p50/p95/p99/p999/max (p999 is
+  // bounded-error: exact below 16, else within 1/16 relative — see
+  // Histogram::percentile).  `context` pairs are emitted verbatim (string
+  // values, JSON-escaped).
   void write_json(
       std::ostream& os,
       const std::vector<std::pair<std::string, std::string>>& context) const;

@@ -205,6 +205,15 @@ void Scheduler::dispatch(VThread* t) {
       t->state_ = ThreadState::kFinished;
       --live_count_;
       wake_all(t->joiners_);
+      // Reclaim the dead fiber's execution resources.  The swapcontext
+      // above completed the switch off that stack (and switch_out already
+      // tore down its ASan fake stack), so nothing can touch it again: a
+      // finished thread is never dispatched and join() only reads control-
+      // block fields.  This keeps memory O(live threads) when open-loop
+      // drivers (svc/) spawn one short-lived green thread per request.
+      t->stack_.reset();
+      t->body_ = nullptr;
+      ++stacks_reclaimed_;
       break;
   }
 }

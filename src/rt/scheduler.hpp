@@ -236,6 +236,12 @@ class Scheduler {
   VThread* thread_by_id(ThreadId id) const;
   std::size_t live_count() const { return live_count_; }
 
+  // Fiber stacks released by finished threads (each thread's stack is
+  // reclaimed the moment it finishes, so resident memory tracks the LIVE
+  // population even when a run spawns short-lived threads by the hundred
+  // thousand — the open-loop driver's regime).
+  std::uint64_t stacks_reclaimed() const { return stacks_reclaimed_; }
+
   // True if the deadline heap still holds a live (non-stale-generation)
   // timer for `t` of the given flavour.  O(timers) scan — invariant-checking
   // introspection only, never on a runtime path.
@@ -300,6 +306,7 @@ class Scheduler {
   std::size_t sched_stack_size_ = 0;
   std::uint64_t ticks_ = 0;
   std::uint64_t dispatches_ = 0;
+  std::uint64_t stacks_reclaimed_ = 0;
   std::size_t live_count_ = 0;
   bool running_ = false;
   bool stalled_ = false;

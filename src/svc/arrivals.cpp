@@ -1,0 +1,69 @@
+#include "svc/arrivals.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace rvk::svc {
+
+namespace {
+
+// Picks a tier index from the cumulative weight walk.  Linear in the tier
+// count, which is small (3-4 SLO classes).
+std::uint32_t pick_tier(const std::vector<std::uint32_t>& weights,
+                        std::uint64_t total, SplitMix64& rng) {
+  std::uint64_t r = rng.next_below(total);
+  for (std::uint32_t i = 0; i < weights.size(); ++i) {
+    if (r < weights[i]) return i;
+    r -= weights[i];
+  }
+  RVK_UNREACHABLE("tier weight walk exhausted");
+}
+
+}  // namespace
+
+ArrivalSchedule generate(const ArrivalConfig& cfg, std::uint64_t duration,
+                         std::uint64_t seed) {
+  RVK_CHECK_MSG(!cfg.tier_weights.empty(), "arrival config needs >= 1 tier");
+  std::uint64_t weight_total = 0;
+  for (std::uint32_t w : cfg.tier_weights) weight_total += w;
+  RVK_CHECK_MSG(weight_total > 0, "tier weights must not all be zero");
+  if (cfg.kind == ArrivalKind::kBursty) {
+    RVK_CHECK_MSG(cfg.burst_len > 0 && cfg.idle_len > 0,
+                  "bursty sojourn means must be nonzero");
+  }
+
+  SplitMix64 rng(seed);
+  ArrivalSchedule out;
+  out.duration = duration;
+  // Start in the burst state: a sweep's first requests should meet traffic,
+  // not a silent idle sojourn.
+  bool burst = true;
+  for (std::uint64_t tick = 0; tick < duration; ++tick) {
+    std::uint32_t rate = cfg.rate;
+    if (cfg.kind == ArrivalKind::kBursty) {
+      // Geometric sojourns: leave the current state with probability
+      // 1/mean per tick, sampled BEFORE emitting so sojourn lengths and
+      // arrival draws come from disjoint positions of the stream.
+      const std::uint64_t stay = burst ? cfg.burst_len : cfg.idle_len;
+      if (rng.next_below(stay) == 0) burst = !burst;
+      rate = burst ? cfg.burst_rate : cfg.idle_rate;
+      if (burst) ++out.burst_ticks;
+    }
+    if (rng.next_below(kProbOne) < rate) {
+      const std::uint32_t tier = pick_tier(cfg.tier_weights, weight_total, rng);
+      out.arrivals.push_back({tick, tier, rng.next()});
+    }
+  }
+  return out;
+}
+
+double offered_rate(const ArrivalConfig& cfg) {
+  if (cfg.kind == ArrivalKind::kPoisson) {
+    return static_cast<double>(cfg.rate) / kProbOne;
+  }
+  const double duty = static_cast<double>(cfg.burst_len) /
+                      static_cast<double>(cfg.burst_len + cfg.idle_len);
+  return (duty * cfg.burst_rate + (1.0 - duty) * cfg.idle_rate) / kProbOne;
+}
+
+}  // namespace rvk::svc

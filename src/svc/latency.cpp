@@ -1,0 +1,59 @@
+#include "svc/latency.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+
+namespace rvk::svc {
+
+TierRecorder::TierRecorder(std::vector<std::string> tier_names) {
+  RVK_CHECK_MSG(!tier_names.empty(), "recorder needs >= 1 tier");
+  tiers_.reserve(tier_names.size());
+  for (std::string& n : tier_names) {
+    tiers_.push_back(PerTier{std::move(n), Histogram(), 0, 0});
+  }
+}
+
+double TierRecorder::giveup_rate(std::size_t tier) const {
+  const std::uint64_t off = offered(tier);
+  if (off == 0) return 0.0;
+  return static_cast<double>(giveups(tier) + sheds(tier)) /
+         static_cast<double>(off);
+}
+
+double TierRecorder::throughput_per_kilotick(std::size_t tier,
+                                             std::uint64_t total_ticks) const {
+  if (total_ticks == 0) return 0.0;
+  return static_cast<double>(completed(tier)) * 1000.0 /
+         static_cast<double>(total_ticks);
+}
+
+std::string TierRecorder::summary(std::size_t tier,
+                                  std::uint64_t total_ticks) const {
+  const Histogram& h = tiers_[tier].latency;
+  std::ostringstream os;
+  os << "n=" << h.count() << " p50=" << h.percentile(0.50)
+     << " p99=" << h.percentile(0.99) << " p999=" << h.percentile(0.999)
+     << " max=" << h.max();
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << " thr/kt=" << throughput_per_kilotick(tier, total_ticks)
+     << " giveup=" << giveup_rate(tier) * 100.0 << "%";
+  return os.str();
+}
+
+void TierRecorder::publish(obs::Registry& reg, std::string_view prefix) const {
+  const std::string p(prefix);
+  for (const PerTier& t : tiers_) {
+    reg.histogram(p + t.name + ".latency").merge(t.latency);
+    reg.counter(p + t.name + ".completed") += t.latency.count();
+    reg.counter(p + t.name + ".giveups") += t.giveups;
+    reg.counter(p + t.name + ".sheds") += t.sheds;
+    reg.counter(p + t.name + ".offered") +=
+        t.latency.count() + t.giveups + t.sheds;
+  }
+}
+
+}  // namespace rvk::svc

@@ -1,0 +1,84 @@
+// Per-tier latency/outcome recorder — the one percentile implementation
+// every macrobench shares (DESIGN.md §15).
+//
+// Each tier gets a common::Histogram (logarithmic buckets; see
+// histogram.hpp for the documented quantile error bound) for completion
+// latency plus outcome counters.  Three outcomes per offered request:
+//
+//   completed — the request entered its sections in time and committed;
+//               latency (arrival tick → completion tick) is recorded;
+//   give-up   — the request abandoned a monitor entry on its SLO deadline
+//               (try_synchronized / try_enter returned false);
+//   shed      — the admission cap turned the request away at injection
+//               (open-loop overload protection: in-flight bound reached).
+//
+// offered == completed + giveups + sheds, so nothing a generator injects
+// can silently vanish from the report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace rvk::obs {
+class Registry;
+}
+
+namespace rvk::svc {
+
+class TierRecorder {
+ public:
+  explicit TierRecorder(std::vector<std::string> tier_names);
+
+  // All three recorders are allocation-free after construction, safe to
+  // call from request threads inside measured loops.
+  void record_latency(std::size_t tier, std::uint64_t ticks) {
+    tiers_[tier].latency.record(ticks);
+  }
+  void record_giveup(std::size_t tier) { ++tiers_[tier].giveups; }
+  void record_shed(std::size_t tier) { ++tiers_[tier].sheds; }
+
+  std::size_t tier_count() const { return tiers_.size(); }
+  const std::string& name(std::size_t tier) const { return tiers_[tier].name; }
+  const Histogram& latency(std::size_t tier) const {
+    return tiers_[tier].latency;
+  }
+  std::uint64_t completed(std::size_t tier) const {
+    return tiers_[tier].latency.count();
+  }
+  std::uint64_t giveups(std::size_t tier) const { return tiers_[tier].giveups; }
+  std::uint64_t sheds(std::size_t tier) const { return tiers_[tier].sheds; }
+  std::uint64_t offered(std::size_t tier) const {
+    return completed(tier) + giveups(tier) + sheds(tier);
+  }
+
+  // Fraction of offered requests that did not complete (gave up or shed);
+  // 0 when nothing was offered.
+  double giveup_rate(std::size_t tier) const;
+
+  // Completed requests per 1000 virtual ticks.
+  double throughput_per_kilotick(std::size_t tier,
+                                 std::uint64_t total_ticks) const;
+
+  // "n=… p50=… p99=… p999=… max=… thr/kt=… giveup=…%" one-liner.
+  std::string summary(std::size_t tier, std::uint64_t total_ticks) const;
+
+  // Folds every tier into `reg` as "<prefix><tier>.latency" (histogram) and
+  // "<prefix><tier>.{completed,giveups,sheds,offered}" counters — the
+  // BENCH_*.json export surface (obs/metrics.hpp).
+  void publish(obs::Registry& reg, std::string_view prefix) const;
+
+ private:
+  struct PerTier {
+    std::string name;
+    Histogram latency;
+    std::uint64_t giveups = 0;
+    std::uint64_t sheds = 0;
+  };
+  std::vector<PerTier> tiers_;
+};
+
+}  // namespace rvk::svc

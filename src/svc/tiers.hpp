@@ -1,0 +1,41 @@
+// SLO tiers: the bridge from traffic classes to scheduler priorities and
+// deadlines (DESIGN.md §15).
+//
+// A tier maps one slice of the arrival mix to (a) the scheduler priority its
+// request threads run at, (b) the entry deadline its requests will wait on a
+// contended monitor before giving up — enforced with the abortable
+// acquisition of DESIGN.md §14, so a missed SLO is a *counted give-up*,
+// never a hang — and (c) the service shape (synchronized-section length) of
+// its requests.  Give-up semantics are entry-bounded, matching
+// Engine::try_synchronized: once a request acquires, its section runs to
+// completion (commit or rollback-and-retry) even past the deadline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rvk::svc {
+
+struct TierSpec {
+  std::string name;
+  int priority;                  // rt scheduler priority of request threads
+  std::uint64_t deadline_ticks;  // SLO budget for ENTERING the section
+  std::uint32_t weight;          // share of the arrival mix
+  int section_ops;               // transfer steps inside the section
+};
+
+// The default three-tier mix: a latency-sensitive gold tier doing short
+// lookups, a silver tier doing medium updates, and a bronze batch tier
+// holding monitors for long scans — the open-loop restatement of the
+// paper's high/medium/low-priority triangle (§4.1).  The bronze sections
+// are what create the inversion windows the protocols under test differ on.
+inline std::vector<TierSpec> default_tiers() {
+  return {
+      {"gold", 9, 1500, 2, 4},
+      {"silver", 6, 3000, 3, 24},
+      {"bronze", 3, 12000, 5, 160},
+  };
+}
+
+}  // namespace rvk::svc

@@ -74,6 +74,31 @@ TEST(HistogramTest, HugeValuesClampIntoLastBucket) {
   EXPECT_GT(h.percentile(1.0), 0u);  // no crash, monotone
 }
 
+// p999 against a known distribution: 1..10000 recorded once each, so the
+// true 0.999 quantile is ~9990.  The documented contract is "never below
+// the true sample, overshoot < 1/16 relative" (histogram.hpp).
+TEST(HistogramTest, DeepTailPercentileWithinDocumentedBound) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.record(v);
+  const auto p999 = h.percentile(0.999);
+  const double truth = 9990.0;
+  EXPECT_GE(static_cast<double>(p999), truth * (1.0 - 1e-9));
+  EXPECT_LT(static_cast<double>(p999), truth * (1.0 + 1.0 / 16.0));
+  EXPECT_LE(p999, h.max());
+  EXPECT_GE(p999, h.percentile(0.99));
+}
+
+// Values below kSubBuckets (16) occupy unit-wide buckets, so even the
+// deepest tail quantile is exact there.
+TEST(HistogramTest, DeepTailExactForSmallValues) {
+  Histogram h;
+  for (int i = 0; i < 998; ++i) h.record(3);
+  h.record(15);
+  h.record(15);  // rank floor(0.999*999)+1 = 999 of 1000 lands on the tail
+  EXPECT_EQ(h.percentile(0.999), 15u);
+  EXPECT_EQ(h.percentile(0.5), 3u);
+}
+
 TEST(HistogramTest, SummaryFormat) {
   Histogram h;
   for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
@@ -81,6 +106,7 @@ TEST(HistogramTest, SummaryFormat) {
   EXPECT_NE(s.find("n=100"), std::string::npos);
   EXPECT_NE(s.find("p50="), std::string::npos);
   EXPECT_NE(s.find("p99="), std::string::npos);
+  EXPECT_NE(s.find("p999="), std::string::npos);
   EXPECT_NE(s.find("max=100"), std::string::npos);
 }
 

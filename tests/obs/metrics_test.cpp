@@ -72,6 +72,8 @@ TEST(RegistryTest, WriteJsonParsesAndEscapes) {
   EXPECT_NE(json.find("\"engine.rollbacks\""), std::string::npos);
   EXPECT_NE(json.find("\"run_type\": \"counter\""), std::string::npos);
   EXPECT_NE(json.find("\"run_type\": \"histogram\""), std::string::npos);
+  // Tail percentile must survive export — the CI macro-smoke gate keys on it.
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
   EXPECT_NE(json.find("\"figure\": \"fig5\""), std::string::npos);
   // Escapes must round-trip through the checker, not corrupt the document.
   EXPECT_NE(json.find("quote\\\"key"), std::string::npos);

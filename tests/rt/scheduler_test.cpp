@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "rt/scheduler.hpp"
@@ -304,6 +305,29 @@ TEST(SchedulerTest, CurrentVThreadAccessors) {
   ASSERT_NE(seen, nullptr);
   EXPECT_EQ(seen->name(), "t");
   EXPECT_EQ(current_vthread(), nullptr);  // cleared after run()
+}
+
+TEST(SchedulerTest, FinishedThreadStacksAreReclaimed) {
+  // Open-loop drivers inject far more threads than are ever live at once;
+  // each finished fiber must give its stack back at dispatch so memory is
+  // O(live threads), not O(total spawned).
+  Scheduler s;
+  constexpr int kThreads = 50;
+  for (int i = 0; i < kThreads; ++i) {
+    s.spawn("t" + std::to_string(i), kNormPriority, [&] {
+      for (int j = 0; j < 3; ++j) s.yield_point();
+    });
+  }
+  EXPECT_EQ(s.stacks_reclaimed(), 0u);
+  s.run();
+  EXPECT_EQ(s.stacks_reclaimed(), kThreads);
+  // Spawning from inside a green thread reclaims too.
+  s.spawn("parent", kNormPriority, [&] {
+    s.spawn("child", kNormPriority, [] {});
+    s.yield_point();
+  });
+  s.run();
+  EXPECT_EQ(s.stacks_reclaimed(), kThreads + 2u);
 }
 
 TEST(SchedulerTest, RunAgainAfterAddingThreads) {

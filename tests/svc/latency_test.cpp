@@ -1,0 +1,66 @@
+// TierRecorder: outcome accounting, percentile report, registry export
+// (DESIGN.md §15).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "svc/latency.hpp"
+
+namespace rvk::svc {
+namespace {
+
+TEST(TierRecorderTest, OutcomeAccountingSumsToOffered) {
+  TierRecorder r({"gold", "bronze"});
+  ASSERT_EQ(r.tier_count(), 2u);
+  r.record_latency(0, 10);
+  r.record_latency(0, 20);
+  r.record_giveup(0);
+  r.record_shed(0);
+  EXPECT_EQ(r.completed(0), 2u);
+  EXPECT_EQ(r.giveups(0), 1u);
+  EXPECT_EQ(r.sheds(0), 1u);
+  EXPECT_EQ(r.offered(0), 4u);
+  EXPECT_EQ(r.offered(1), 0u);  // tiers are independent
+  EXPECT_DOUBLE_EQ(r.giveup_rate(0), 0.5);
+  EXPECT_DOUBLE_EQ(r.giveup_rate(1), 0.0);  // no offers: rate defined as 0
+}
+
+TEST(TierRecorderTest, ThroughputPerKilotick) {
+  TierRecorder r({"t"});
+  for (int i = 0; i < 30; ++i) r.record_latency(0, 5);
+  EXPECT_DOUBLE_EQ(r.throughput_per_kilotick(0, 10'000), 3.0);
+  EXPECT_DOUBLE_EQ(r.throughput_per_kilotick(0, 0), 0.0);  // degenerate span
+}
+
+TEST(TierRecorderTest, SummaryReportsDeepTail) {
+  TierRecorder r({"t"});
+  for (std::uint64_t v = 1; v <= 200; ++v) r.record_latency(0, v);
+  r.record_giveup(0);
+  const std::string s = r.summary(0, 1000);
+  EXPECT_NE(s.find("n=200"), std::string::npos);
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+  EXPECT_NE(s.find("p999="), std::string::npos);
+  EXPECT_NE(s.find("giveup="), std::string::npos);
+}
+
+TEST(TierRecorderTest, PublishCreatesRegistryEntries) {
+  TierRecorder r({"gold"});
+  r.record_latency(0, 17);
+  r.record_giveup(0);
+  r.record_shed(0);
+  obs::Registry reg;
+  r.publish(reg, "macro/x/");
+  const obs::Registry::Entry* lat = reg.find("macro/x/gold.latency");
+  ASSERT_NE(lat, nullptr);
+  ASSERT_TRUE(lat->is_histogram());
+  EXPECT_EQ(lat->hist->count(), 1u);
+  EXPECT_EQ(reg.find("macro/x/gold.completed")->value, 1u);
+  EXPECT_EQ(reg.find("macro/x/gold.giveups")->value, 1u);
+  EXPECT_EQ(reg.find("macro/x/gold.sheds")->value, 1u);
+  EXPECT_EQ(reg.find("macro/x/gold.offered")->value, 3u);
+}
+
+}  // namespace
+}  // namespace rvk::svc

@@ -5,15 +5,21 @@ Usage:
     tools/bench_compare.py BENCH_micro_uncontended.json [more.json ...] \
         [--baseline results/bench_baseline.json] [--threshold 2.0]
 
-The baseline maps benchmark name -> expected real_time in ns.  A benchmark
-regresses if its measured time exceeds baseline * threshold.  The threshold
-is deliberately generous (default 2.0x): CI runners are noisy, shared, and
-of assorted vintages, so this is a smoke test for order-of-magnitude
-regressions (a fast path falling off its fast path), not a performance
-gate.  Benchmarks missing from the baseline are reported but never fail
-the run, so adding a benchmark does not require touching the baseline in
-the same change.  Refresh the baseline with --update after an intentional
-perf change (run on a quiet machine, Release build).
+The baseline maps benchmark name -> expected value: real_time in ns for
+google-benchmark iteration entries, p99 (in the benchmark's own unit —
+virtual ticks for the macro registry exports) for "histogram" entries.
+Registry "counter" entries are informational and skipped.  A benchmark
+regresses if its measured value exceeds baseline * threshold.  The
+threshold is deliberately generous (default 2.0x): CI runners are noisy,
+shared, and of assorted vintages, so this is a smoke test for
+order-of-magnitude regressions (a fast path falling off its fast path),
+not a performance gate.  (Histogram entries from the deterministic
+virtual-clock macrobenches reproduce exactly, so for them even 2.0x is a
+real tail-latency gate.)  Benchmarks missing from the baseline are
+reported but never fail the run, so adding a benchmark does not require
+touching the baseline in the same change.  Refresh the baseline with
+--update after an intentional perf change (run on a quiet machine,
+Release build).
 """
 
 import argparse
@@ -26,7 +32,12 @@ class BenchDataError(Exception):
 
 
 def load_results(path):
-    """Return {benchmark name: real_time in ns} from google-benchmark JSON.
+    """Return {benchmark name: gated value} from benchmark JSON.
+
+    Accepts both google-benchmark output (iteration entries gated on
+    real_time, normalized to ns) and the obs::Registry export shape
+    (BENCH_macro_open.json: "histogram" entries gated on their p99,
+    "counter" entries skipped).
 
     The bench binaries print a human-readable "Expected shape" footer after
     the JSON document (both go to stdout), so parse with raw_decode and
@@ -45,12 +56,23 @@ def load_results(path):
                              f"got {type(data).__name__}")
     out = {}
     for i, b in enumerate(data.get("benchmarks", [])):
-        if b.get("run_type") == "aggregate":
+        if b.get("run_type") in ("aggregate", "counter"):
             continue
         name = b.get("name")
         if name is None:
             raise BenchDataError(
                 f"{path}: benchmark entry #{i} has no \"name\" key")
+        if b.get("run_type") == "histogram":
+            try:
+                out[name] = float(b["p99"])
+            except KeyError:
+                raise BenchDataError(
+                    f"{path}: histogram {name!r} has no \"p99\" key")
+            except (TypeError, ValueError):
+                raise BenchDataError(
+                    f"{path}: histogram {name!r} has non-numeric p99 "
+                    f"{b['p99']!r}")
+            continue
         unit = b.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
         if scale is None:
@@ -113,7 +135,8 @@ def main():
 
     if args.update:
         with open(args.baseline, "w") as f:
-            json.dump({"_comment": "ns per op; see tools/bench_compare.py",
+            json.dump({"_comment": "real_time ns (iterations) / p99 "
+                                   "(histograms); see tools/bench_compare.py",
                        "benchmarks": {k: round(v, 1)
                                       for k, v in sorted(measured.items())}},
                       f, indent=2)
@@ -135,12 +158,12 @@ def main():
         got = measured[name]
         ratio = got / base_ns if base_ns > 0 else float("inf")
         status = "ok" if ratio <= args.threshold else "REGRESS"
-        print(f"  [{status:7s}] {name}: {got:.1f} ns vs baseline "
-              f"{base_ns:.1f} ns ({ratio:.2f}x)")
+        print(f"  [{status:7s}] {name}: {got:.1f} vs baseline "
+              f"{base_ns:.1f} ({ratio:.2f}x)")
         if ratio > args.threshold:
             failures.append(name)
     for name in sorted(set(measured) - set(baseline)):
-        print(f"  [new    ] {name}: {measured[name]:.1f} ns (not in baseline)")
+        print(f"  [new    ] {name}: {measured[name]:.1f} (not in baseline)")
 
     if failures:
         print(f"bench_compare: {len(failures)} regression(s) beyond "

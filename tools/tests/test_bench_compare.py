@@ -107,6 +107,37 @@ class BenchCompareTest(unittest.TestCase):
                              os.path.join(self.tmp.name, "nope.json"))
         self.assert_clean_error(proc, "nope.json")
 
+    def test_histogram_entries_gate_on_p99(self):
+        # obs::Registry export shape (BENCH_macro_open.json): histograms are
+        # gated on their p99, counters are informational and skipped.
+        doc = {"benchmarks": [
+            {"name": "macro/gold.latency", "run_type": "histogram",
+             "count": 10, "mean": 5.0, "p50": 4, "p95": 8, "p99": 300,
+             "p999": 300, "max": 310},
+            {"name": "macro/gold.completed", "run_type": "counter",
+             "value": 10},
+        ]}
+        results = self.path("r.json", doc)
+        base = self.path("b.json",
+                         {"benchmarks": {"macro/gold.latency": 100.0}})
+        proc = self.run_tool(results, "--baseline", base)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("macro/gold.latency", proc.stderr)
+        self.assertNotIn("gold.completed", proc.stdout)  # counter skipped
+
+        ok = self.path("b2.json",
+                       {"benchmarks": {"macro/gold.latency": 250.0}})
+        proc = self.run_tool(results, "--baseline", ok)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_histogram_missing_p99_names_benchmark(self):
+        doc = {"benchmarks": [{"name": "macro/gold.latency",
+                               "run_type": "histogram", "count": 1}]}
+        results = self.path("r.json", doc)
+        base = self.path("b.json", {"benchmarks": {}})
+        proc = self.run_tool(results, "--baseline", base)
+        self.assert_clean_error(proc, "macro/gold.latency", "p99")
+
     def test_absent_benchmark_reported_not_fatal(self):
         # Documented contract: baseline entries not measured are reported
         # but never fail the run.
