@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -21,10 +22,27 @@ void (*g_frame_hook)(const FrameEvent&) = nullptr;
 namespace {
 
 std::unique_ptr<Analyzer> g_analyzer;
+// Shared install (DESIGN.md §16): under sharding every shard's engine
+// installs/uninstalls, but one analyzer observes the whole process — first
+// in creates it, last out tears it down.  g_install_mu orders that pairing
+// across shard threads; g_dispatch_mu serializes the handler bodies, whose
+// tables (lockset, frames_of_) are process-global while events arrive from
+// every shard under kOsThreads.  The analyzer is a diagnostic layer, never
+// enabled in measured runs, so a mutex per event is acceptable.
+int g_install_count = 0;
+std::mutex g_install_mu;
+std::mutex g_dispatch_mu;
 
-void access_trampoline(const heap::TraceAccess& a) { g_analyzer->on_access(a); }
-void frame_trampoline(const FrameEvent& e) { g_analyzer->on_frame(e); }
+void access_trampoline(const heap::TraceAccess& a) {
+  std::lock_guard<std::mutex> lk(g_dispatch_mu);
+  g_analyzer->on_access(a);
+}
+void frame_trampoline(const FrameEvent& e) {
+  std::lock_guard<std::mutex> lk(g_dispatch_mu);
+  g_analyzer->on_frame(e);
+}
 void switch_trampoline(rt::VThread* t, const char* where) {
+  std::lock_guard<std::mutex> lk(g_dispatch_mu);
   g_analyzer->on_forbidden_switch(t, where);
 }
 
@@ -61,22 +79,28 @@ bool env_enabled() {
 }
 
 Analyzer* Analyzer::install() {
-  RVK_CHECK_MSG(g_analyzer == nullptr,
-                "revocation-safety analyzer already installed");
-  g_analyzer.reset(new Analyzer());
-  heap::set_analysis_hook(&access_trampoline);
-  detail::g_frame_hook = &frame_trampoline;
-  rt::set_switch_probe(&switch_trampoline);
-  // The obs recorder self-reports through the same probe: an obs hook that
-  // could allocate (ring/profile registration) firing inside commit/abort
-  // or a release path is the same class of breach as a yield point there.
-  obs::set_breach_hook(&switch_trampoline);
-  rt::set_region_marking(true);
+  std::lock_guard<std::mutex> lk(g_install_mu);
+  if (g_install_count++ == 0) {
+    RVK_CHECK_MSG(g_analyzer == nullptr,
+                  "revocation-safety analyzer already installed");
+    g_analyzer.reset(new Analyzer());
+    heap::set_analysis_hook(&access_trampoline);
+    detail::g_frame_hook = &frame_trampoline;
+    rt::set_switch_probe(&switch_trampoline);
+    // The obs recorder self-reports through the same probe: an obs hook
+    // that could allocate (ring/profile registration) firing inside
+    // commit/abort or a release path is the same class of breach as a
+    // yield point there.
+    obs::set_breach_hook(&switch_trampoline);
+    rt::set_region_marking(true);
+  }
   return g_analyzer.get();
 }
 
 void Analyzer::uninstall() {
+  std::lock_guard<std::mutex> lk(g_install_mu);
   if (g_analyzer == nullptr) return;
+  if (--g_install_count > 0) return;  // peers still observing
   heap::set_analysis_hook(nullptr);
   detail::g_frame_hook = nullptr;
   rt::set_switch_probe(nullptr);

@@ -75,18 +75,23 @@ inline void frame_event(const FrameEvent& e) {
 // True when RVK_ANALYZE is set to a non-empty value other than "0".
 bool env_enabled();
 
-// Process-global analyzer.  At most one instance is installed at a time
-// (mirroring the one-Engine-per-process invariant); core::Engine owns the
-// install/uninstall pairing when analysis is enabled.
+// Process-global analyzer.  One instance observes the whole process; the
+// install is refcount-shared so that under sharding (DESIGN.md §16) every
+// shard's engine can install/uninstall in its own constructor/destructor —
+// the first install creates the analyzer, the last uninstall tears it down.
+// Event dispatch is serialized internally, so multi-shard (kOsThreads) runs
+// feed one coherent lockset/frame table.
 class Analyzer {
  public:
-  // Installs a fresh analyzer into all three seams and enables
-  // forbidden-region marking.  Must not already be installed.
+  // Installs the analyzer into all three seams and enables forbidden-region
+  // marking, creating it on the first install and bumping a refcount on
+  // later ones.  Returns the shared instance.
   static Analyzer* install();
 
-  // Tears the hooks back out.  If violations were recorded, prints the
-  // report to stderr first (so fig/bench binaries surface breaches without
-  // bespoke plumbing).  No-op when not installed.
+  // Drops one install reference; the last one tears the hooks back out.  If
+  // violations were recorded, prints the report to stderr first (so
+  // fig/bench binaries surface breaches without bespoke plumbing).  No-op
+  // when not installed.
   static void uninstall();
 
   // The installed analyzer, or nullptr.

@@ -12,18 +12,55 @@
 namespace rvk::core {
 
 namespace {
-// The engine installs process-global barrier hooks; only one may be active.
-Engine* g_active_engine = nullptr;
+// The classic (unsharded) engine slot: one engine per OS thread.  Under
+// sharding the entered domain's engine_ctx takes precedence — see
+// Engine::active().  Thread-local rather than a plain global so kOsThreads
+// shards never alias each other's slot even if one runs unsharded code.
+thread_local Engine* t_active_engine = nullptr;
+
+// The process-global barrier hooks (heap barriers, rt lazy-frame hook) are
+// a shared install: every co-active engine routes through the same static
+// trampolines, which resolve the acting engine per shard via
+// Engine::active().  First engine in installs and snapshots the config
+// facet that programs global *flags*; later engines are checked against the
+// snapshot (divergent barrier config across shards cannot work — the flags
+// are process-wide); last engine out uninstalls.  The mutex orders
+// concurrent setup/teardown of kOsThreads shards and provides the
+// happens-before for the plain hook globals it guards.
+struct GlobalHooks {
+  std::mutex mu;
+  int count = 0;
+  bool jmm_guard = false;
+  bool dedup_logging = false;
+  bool conservative_volatile = false;
+};
+GlobalHooks g_hooks;
 }  // namespace
+
+Engine* Engine::active() {
+  if (rt::Domain* d = rt::current_domain()) {
+    if (void* e = d->engine_ctx()) return static_cast<Engine*>(e);
+  }
+  return t_active_engine;
+}
 
 // ---------------------------------------------------------------------------
 // Construction / teardown
 
 Engine::Engine(rt::Scheduler& sched, EngineConfig cfg)
     : sched_(sched), cfg_(cfg) {
-  RVK_CHECK_MSG(g_active_engine == nullptr,
-                "another Engine is already active");
-  g_active_engine = this;
+  // Bind to the shard current on this thread (DomainSet setup runs with its
+  // domain entered), or fall back to the classic one-per-thread slot.
+  if (rt::Domain* d = rt::current_domain()) {
+    RVK_CHECK_MSG(&sched_ == &d->sched(),
+                  "a shard's engine must drive that shard's scheduler");
+    RVK_CHECK_MSG(d->engine_ctx() == nullptr,
+                  "this shard already has an engine");
+    domain_ = d;
+  } else {
+    RVK_CHECK_MSG(t_active_engine == nullptr,
+                  "another Engine is already active");
+  }
 
   // RVK_BIAS=0 is the escape hatch reproducing pre-bias behaviour (figures
   // cross-check; DESIGN.md §11).  Resolved here, before any monitor latches
@@ -32,7 +69,6 @@ Engine::Engine(rt::Scheduler& sched, EngineConfig cfg)
   const char* bias_env = std::getenv("RVK_BIAS");
   if (bias_env != nullptr && bias_env[0] == '0') cfg_.bias = false;
   bias_enabled_ = cfg_.bias && !cfg_.trace;
-  rt::set_lazy_frame_hook(&Engine::lazy_frame_trampoline);
 
   // Object monitors live behind compact lock words in the process-wide
   // MonitorTable (DESIGN.md §13).  The factory builds this engine's
@@ -41,13 +77,20 @@ Engine::Engine(rt::Scheduler& sched, EngineConfig cfg)
   // — or by a biased section still in its LAZY window (DESIGN.md §11) — is
   // not deflatable even if its owner/queues look idle at the instant asked.
   // This is what keeps revocation semantics bit-identical under deflation:
-  // a frame's monitor pointer can never be invalidated under it.
+  // a frame's monitor pointer can never be invalidated under it.  The veto
+  // is keyed by this engine (the tag its slots carry), so it only ever runs
+  // against slots of this shard — a peer shard's scavenge never walks this
+  // engine's frames (§16).
   monitor_factory_ = [this](std::string name) {
     return std::unique_ptr<monitor::MonitorBase>(
         std::make_unique<RevocableMonitor>(std::move(name), *this));
   };
   monitor::MonitorTable::global().set_deflate_veto(
-      [this](const monitor::MonitorBase& m) {
+      this, [this](const monitor::MonitorBase& m) {
+        // §16: a cross-shard message may reference any monitor of this
+        // shard (a shipped section body is opaque until it runs), so while
+        // any message is in flight or executing here, nothing deflates.
+        if (domain_ != nullptr && domain_->inbound_work() > 0) return false;
         for (const auto& [t, ts] : sync_states_) {
           for (const Frame& f : ts->frames) {
             if (static_cast<const monitor::MonitorBase*>(f.monitor) == &m) {
@@ -71,19 +114,44 @@ Engine::Engine(rt::Scheduler& sched, EngineConfig cfg)
     sched_.set_background_period(cfg_.background_period);
   }
 
-  heap::set_dependency_tracking(cfg_.jmm_guard);
-  heap::set_dedup_logging(cfg_.dedup_logging);
-  heap::set_alloc_hook(&Engine::alloc_trampoline);
-  if (cfg_.jmm_guard) {
-    heap::set_tracked_read_hook(&Engine::tracked_read_trampoline);
-    if (cfg_.volatile_policy == VolatilePolicy::kConservative) {
-      heap::set_volatile_write_hook(&Engine::volatile_write_trampoline);
+  {
+    std::lock_guard<std::mutex> lk(g_hooks.mu);
+    const bool conservative =
+        cfg_.jmm_guard && cfg_.volatile_policy == VolatilePolicy::kConservative;
+    if (g_hooks.count == 0) {
+      g_hooks.jmm_guard = cfg_.jmm_guard;
+      g_hooks.dedup_logging = cfg_.dedup_logging;
+      g_hooks.conservative_volatile = conservative;
+      rt::set_lazy_frame_hook(&Engine::lazy_frame_trampoline);
+      heap::set_dependency_tracking(cfg_.jmm_guard);
+      heap::set_dedup_logging(cfg_.dedup_logging);
+      heap::set_alloc_hook(&Engine::alloc_trampoline);
+      if (cfg_.jmm_guard) {
+        heap::set_tracked_read_hook(&Engine::tracked_read_trampoline);
+        if (conservative) {
+          heap::set_volatile_write_hook(&Engine::volatile_write_trampoline);
+        }
+      }
+    } else {
+      RVK_CHECK_MSG(g_hooks.jmm_guard == cfg_.jmm_guard &&
+                        g_hooks.dedup_logging == cfg_.dedup_logging &&
+                        g_hooks.conservative_volatile == conservative,
+                    "co-active engines must agree on barrier-programming "
+                    "config (jmm_guard / dedup_logging / volatile_policy)");
+    }
+    ++g_hooks.count;
+    // Multi-shard: the shared MonitorTable pool needs its mutex from here
+    // on.  Flipped before this shard runs a single vthread, and idempotent
+    // across shards.
+    if (domain_ != nullptr && domain_->set() != nullptr &&
+        domain_->set()->size() > 1) {
+      monitor::MonitorTable::global().set_concurrent(true);
     }
   }
 
   // Revocation-safety analyzer: per-config or process-wide via RVK_ANALYZE.
   // The engine owns the install/uninstall pairing, mirroring its other
-  // process-global hooks.
+  // process-global hooks (shared install under sharding, like the barriers).
   if (cfg_.analyze || analysis::env_enabled()) {
     analysis::Analyzer::install();
     analyzing_ = true;
@@ -92,11 +160,25 @@ Engine::Engine(rt::Scheduler& sched, EngineConfig cfg)
   // Observability recorder: per-config or process-wide via RVK_OBS.  Unlike
   // the analyzer, a recorder installed by someone else (harness, test) is
   // adopted, not re-installed: metrics accumulate across engine lifetimes
-  // (the §4.1 harness builds a fresh Engine per repetition).
+  // (the §4.1 harness builds a fresh Engine per repetition).  The recorder
+  // slot is per OS thread, so every shard carries its own ring/registry and
+  // they merge at export (obs/recorder.hpp).
   if ((cfg_.observe || obs::Recorder::env_enabled()) &&
       obs::Recorder::active() == nullptr) {
     obs::Recorder::install();
     observing_ = true;
+  }
+
+  if (domain_ != nullptr) {
+    domain_->set_engine_ctx(this);
+    domain_->set_revoker(
+        [this](rt::VThread* owner, void* monitor, int boost_to) {
+          return request_revocation(
+              owner, *static_cast<RevocableMonitor*>(monitor),
+              /*deadlock=*/false, boost_to);
+        });
+  } else {
+    t_active_engine = this;
   }
 }
 
@@ -105,26 +187,36 @@ Engine::~Engine() {
   // destructors unregister from monitors_, which must still be alive, and
   // no later engine may inherit a veto capturing this one.
   monitor::MonitorTable::global().release_slots_owned_by(this);
-  monitor::MonitorTable::global().set_deflate_veto({});
+  monitor::MonitorTable::global().set_deflate_veto(this, {});
   if (observing_) obs::Recorder::uninstall();
   if (analyzing_) analysis::Analyzer::uninstall();
-  rt::set_lazy_frame_hook(nullptr);
   // Unstamp the per-thread caches: a later engine must re-register every
   // thread, and no stale ThreadSync pointer may survive this engine.
   for (auto& [t, ts] : sync_states_) {
     t->engine_state = nullptr;
     t->lazy_frame = false;
   }
-  heap::set_alloc_hook(nullptr);
-  heap::set_tracked_read_hook(nullptr);
-  heap::set_volatile_write_hook(nullptr);
-  heap::set_dependency_tracking(false);
-  heap::set_dedup_logging(false);
+  {
+    std::lock_guard<std::mutex> lk(g_hooks.mu);
+    if (--g_hooks.count == 0) {
+      rt::set_lazy_frame_hook(nullptr);
+      heap::set_alloc_hook(nullptr);
+      heap::set_tracked_read_hook(nullptr);
+      heap::set_volatile_write_hook(nullptr);
+      heap::set_dependency_tracking(false);
+      heap::set_dedup_logging(false);
+    }
+  }
   sched_.set_revocation_deliverer(nullptr);
   sched_.set_stall_hook(nullptr);
   sched_.set_background_hook(nullptr);
   sched_.set_background_period(0);
-  g_active_engine = nullptr;
+  if (domain_ != nullptr) {
+    domain_->set_revoker({});
+    domain_->set_engine_ctx(nullptr);
+  } else {
+    t_active_engine = nullptr;
+  }
 }
 
 RevocableMonitor* Engine::make_monitor(std::string name) {
@@ -152,7 +244,16 @@ RevocableMonitor* Engine::monitor_of(const heap::HeapObject* obj) {
 }
 
 std::size_t Engine::scavenge_monitors() {
-  return monitor::MonitorTable::global().scavenge();
+  // Under kOsThreads each shard sweeps only its own slots: a whole-table
+  // sweep would run a peer engine's deflation veto against frame state that
+  // peer is concurrently mutating (§16).  Cooperative/unsharded runs keep
+  // the classic whole-table sweep (detached baseline slots included).
+  const void* tag = nullptr;
+  if (domain_ != nullptr && domain_->set() != nullptr &&
+      domain_->set()->mode() == rt::DomainSet::Mode::kOsThreads) {
+    tag = this;
+  }
+  return monitor::MonitorTable::global().scavenge(tag);
 }
 
 ThreadSync& Engine::sync_of(rt::VThread* t) {
@@ -202,7 +303,7 @@ const ThreadSync* Engine::find_sync(const rt::VThread* t) const {
 // primitives; engine paths that walk the current thread's frames call
 // materialize_lazy directly.
 void Engine::lazy_frame_trampoline(rt::VThread* t) {
-  if (g_active_engine != nullptr) g_active_engine->materialize_lazy(t);
+  if (Engine* e = Engine::active()) e->materialize_lazy(t);
 }
 
 void Engine::materialize_lazy(rt::VThread* t) {
@@ -852,16 +953,16 @@ void Engine::on_volatile_write() {
 void Engine::tracked_read_trampoline(heap::ObjectMeta& meta,
                                      const void* base) {
   (void)base;
-  if (g_active_engine != nullptr) g_active_engine->on_tracked_read(meta);
+  if (Engine* e = Engine::active()) e->on_tracked_read(meta);
 }
 
 void Engine::volatile_write_trampoline(const void* var) {
   (void)var;
-  if (g_active_engine != nullptr) g_active_engine->on_volatile_write();
+  if (Engine* e = Engine::active()) e->on_volatile_write();
 }
 
 void Engine::alloc_trampoline(heap::Heap* heap, heap::HeapObject* obj) {
-  if (g_active_engine != nullptr) g_active_engine->on_alloc(heap, obj);
+  if (Engine* e = Engine::active()) e->on_alloc(heap, obj);
 }
 
 void Engine::on_alloc(heap::Heap* heap, heap::HeapObject* obj) {

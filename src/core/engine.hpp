@@ -22,8 +22,16 @@
 //    Object.wait().  Requests against pinned frames are refused; requests
 //    that race with a pin are dropped at delivery.
 //
-// One Engine may be active per scheduler at a time (it installs global
-// barrier hooks); construct it after the Scheduler and destroy it before.
+// One Engine may be active per *shard* at a time: constructed with a
+// rt::Domain current (DomainSet setup runs there), the engine binds to that
+// shard — its scheduler, its mailbox revoker, its slice of the deflation
+// veto — and the process-global barrier hooks become a refcounted shared
+// install whose trampolines resolve the acting engine per shard.  In the
+// classic unsharded runtime (no domain entered) this degenerates to the old
+// rule: one engine per OS thread, stored in a thread-local.  Either way,
+// construct the engine after its Scheduler and destroy it before, and keep
+// barrier-programming config (jmm_guard / dedup_logging / volatile_policy)
+// identical across co-active engines — the constructor enforces it.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +49,7 @@
 #include "heap/barriers.hpp"
 #include "heap/object.hpp"
 #include "monitor/monitor_table.hpp"
+#include "rt/domain.hpp"
 #include "rt/scheduler.hpp"
 #include "support/annotations.hpp"
 
@@ -214,6 +223,16 @@ class Engine {
 
   const EngineConfig& config() const { return cfg_; }
   rt::Scheduler& scheduler() const { return sched_; }
+
+  // The scheduler shard this engine bound to at construction (the domain
+  // current on the constructing thread), or nullptr in the classic
+  // unsharded runtime.
+  rt::Domain* domain() const { return domain_; }
+
+  // The engine acting on this OS thread: the entered shard's engine when a
+  // domain is current, else the thread's classic engine slot.  nullptr when
+  // neither exists.  This is what the barrier trampolines resolve through.
+  static Engine* active();
 
   // Creates an engine-owned revocable monitor.
   RevocableMonitor* make_monitor(std::string name);
@@ -514,7 +533,7 @@ class Engine {
   // Stall hook: last-chance deadlock resolution when nothing is runnable.
   bool on_stall();
 
-  // JMM guard plumbing (static trampolines use g_active_engine).
+  // JMM guard plumbing (static trampolines resolve via Engine::active()).
   void on_tracked_read(heap::ObjectMeta& meta);
   void on_volatile_write();
   void pin_frames_up_to(rt::VThread* writer, std::uint64_t frame_id,
@@ -539,6 +558,7 @@ class Engine {
             RevocableMonitor* m);
 
   rt::Scheduler& sched_;
+  rt::Domain* domain_ = nullptr;  // bound shard; nullptr when unsharded
   EngineConfig cfg_;
   EngineStats stats_;
 

@@ -14,9 +14,38 @@ MonitorTable& MonitorTable::global() {
   return table;
 }
 
+void MonitorTable::set_deflate_veto(void* tag, DeflateVeto allow) {
+  RVK_CHECK_MSG(tag != nullptr, "tagged veto needs a tag; use the untagged "
+                                "overload for the global fallback");
+  auto lk = lock();
+  if (allow) {
+    tag_vetoes_[tag] = std::move(allow);
+  } else {
+    tag_vetoes_.erase(tag);
+  }
+}
+
+bool MonitorTable::deflatable_locked(const MonitorBase& m,
+                                     const void* owner_tag) const {
+  if (!quiescent(m)) return false;
+  if (deflate_veto_ && !deflate_veto_(m)) return false;
+  if (owner_tag != nullptr) {
+    auto it = tag_vetoes_.find(owner_tag);
+    if (it != tag_vetoes_.end() && !it->second(m)) return false;
+  }
+  return true;
+}
+
+bool MonitorTable::deflatable(const MonitorBase& m,
+                              const void* owner_tag) const {
+  auto lk = lock();
+  return deflatable_locked(m, owner_tag);
+}
+
 MonitorBase& MonitorTable::inflate(LockWord& word, std::string name,
                                    InflationCause cause,
                                    const Factory& factory, void* owner_tag) {
+  auto lk = lock();
   // A stale inflated word is logically free; a live one must not re-inflate.
   RVK_DCHECK(slot_of(word) == nullptr);
 
@@ -78,6 +107,7 @@ const MonitorTable::Slot* MonitorTable::slot_of(const LockWord& word) const {
 }
 
 MonitorBase* MonitorTable::monitor_at(const LockWord& word) const {
+  auto lk = lock();
   const Slot* slot = slot_of(word);
   return slot != nullptr ? slot->monitor.get() : nullptr;
 }
@@ -106,8 +136,11 @@ void MonitorTable::destroy_slot(std::uint32_t index) {
 }
 
 bool MonitorTable::try_deflate(LockWord& word, LockWord after) {
+  auto lk = lock();
   Slot* slot = slot_of(word);
-  if (slot == nullptr || !deflatable(*slot->monitor)) return false;
+  if (slot == nullptr || !deflatable_locked(*slot->monitor, slot->owner_tag)) {
+    return false;
+  }
   const std::uint32_t index = word.index();
   word = after;
   destroy_slot(index);
@@ -115,12 +148,15 @@ bool MonitorTable::try_deflate(LockWord& word, LockWord after) {
   return true;
 }
 
-std::size_t MonitorTable::scavenge() {
+std::size_t MonitorTable::scavenge(const void* tag) {
+  auto lk = lock();
   ++stats_.scavenge_passes;
   std::size_t deflated = 0;
   for (std::uint32_t i = 0; i < slots_.size(); ++i) {
     Slot& slot = slots_[i];
-    if (slot.monitor == nullptr || !deflatable(*slot.monitor)) continue;
+    if (slot.monitor == nullptr) continue;
+    if (tag != nullptr && slot.owner_tag != tag) continue;
+    if (!deflatable_locked(*slot.monitor, slot.owner_tag)) continue;
     if (slot.word != nullptr) *slot.word = LockWord();
     destroy_slot(i);
     ++stats_.deflations;
@@ -130,6 +166,7 @@ std::size_t MonitorTable::scavenge() {
 }
 
 void MonitorTable::release_slot(LockWord& word) noexcept {
+  auto lk = lock();
   Slot* slot = slot_of(word);
   if (slot == nullptr) {
     // Stale (slot already recycled from under the word) or not inflated:
@@ -140,7 +177,7 @@ void MonitorTable::release_slot(LockWord& word) noexcept {
   }
   const std::uint32_t index = word.index();
   word = LockWord();
-  if (deflatable(*slot->monitor)) {
+  if (deflatable_locked(*slot->monitor, slot->owner_tag)) {
     destroy_slot(index);
   } else {
     // The word dies but the monitor still has protocol state (e.g. waiters
@@ -155,6 +192,7 @@ void MonitorTable::release_slots_owned_by(void* tag) {
   RVK_CHECK_MSG(tag != nullptr,
                 "nullptr tags the untagged baseline slots; releasing them "
                 "wholesale is never what a caller means");
+  auto lk = lock();
   for (std::uint32_t i = 0; i < slots_.size(); ++i) {
     Slot& slot = slots_[i];
     if (slot.monitor == nullptr || slot.owner_tag != tag) continue;

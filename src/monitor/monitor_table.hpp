@@ -31,10 +31,13 @@
 // recycled) simply stops matching and reads as free.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "monitor/lock_word.hpp"
@@ -104,14 +107,34 @@ class MonitorTable {
   static bool quiescent(const MonitorBase& m);
 
   // Engine veto: an extra predicate ANDed into deflatable().  Returns true
-  // to allow deflation.  The engine installs "no live or lazy frame
-  // references m"; cleared (nullptr) on engine teardown.
-  void set_deflate_veto(std::function<bool(const MonitorBase&)> allow) {
+  // to allow deflation.  An engine installs "no live or lazy frame
+  // references m" keyed by its owner tag (the same tag its slots carry), so
+  // under sharding (DESIGN.md §16) each shard's engine vetoes exactly its
+  // own slots and never has its private frame state walked from another
+  // shard.  The untagged overload is the global fallback consulted for
+  // every slot (tests, baselines); cleared with an empty function.
+  using DeflateVeto = std::function<bool(const MonitorBase&)>;
+  void set_deflate_veto(DeflateVeto allow) {
+    auto lk = lock();
     deflate_veto_ = std::move(allow);
   }
+  void set_deflate_veto(void* tag, DeflateVeto allow);
 
-  bool deflatable(const MonitorBase& m) const {
-    return quiescent(m) && (!deflate_veto_ || deflate_veto_(m));
+  // Deflation permission for a monitor created under `owner_tag`: the base
+  // quiescence predicate, the global veto, and the tag's veto.
+  bool deflatable(const MonitorBase& m, const void* owner_tag = nullptr) const;
+
+  // Multi-shard switch (flipped by the first engine that binds to a multi-
+  // shard DomainSet, before any shard thread runs): guards the slot pool
+  // with a mutex.  Single-shard runs never take it — the lookup fast path
+  // stays one branch.
+  // Relaxed is enough: a shard only touches the table after its own
+  // engine's constructor flipped this in the same thread's program order.
+  void set_concurrent(bool on) {
+    concurrent_.store(on, std::memory_order_relaxed);
+  }
+  bool concurrent() const {
+    return concurrent_.load(std::memory_order_relaxed);
   }
 
   // Release-time opportunistic deflation: if `word` is inflated, its slot
@@ -123,9 +146,14 @@ class MonitorTable {
   // monitor frees memory and the veto walks engine state.
   bool try_deflate(LockWord& word, LockWord after = LockWord());
 
-  // Sweeps every live slot, deflating the quiescent ones (stale-detached
-  // slots included).  Returns the number of slots deflated.
-  std::size_t scavenge();
+  // Sweeps live slots, deflating the quiescent ones (stale-detached slots
+  // included).  Returns the number of slots deflated.  With the default
+  // nullptr tag every slot is considered (the classic whole-table sweep);
+  // a non-null tag restricts the sweep to that creator's slots — under
+  // kOsThreads sharding a shard may only scavenge its own monitors, since
+  // sweeping a peer's would run that peer's veto against engine state the
+  // peer is concurrently mutating.
+  std::size_t scavenge(const void* tag = nullptr);
 
   // Word-holder teardown: quiesce-or-detach (see release_inflated_slot in
   // lock_word.hpp, which forwards here on the global table).
@@ -163,11 +191,22 @@ class MonitorTable {
   // index.  Does NOT touch the word — callers own that.
   void destroy_slot(std::uint32_t index);
 
+  // Conditional pool lock: a real unique_lock in concurrent (multi-shard)
+  // mode, an unowned one otherwise.
+  std::unique_lock<std::mutex> lock() const {
+    return concurrent() ? std::unique_lock<std::mutex>(mu_)
+                        : std::unique_lock<std::mutex>();
+  }
+  bool deflatable_locked(const MonitorBase& m, const void* owner_tag) const;
+
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoFree;
   std::size_t live_ = 0;
-  std::function<bool(const MonitorBase&)> deflate_veto_;
+  DeflateVeto deflate_veto_;
+  std::unordered_map<const void*, DeflateVeto> tag_vetoes_;
   MonitorTableStats stats_;
+  std::atomic<bool> concurrent_{false};
+  mutable std::mutex mu_;
 };
 
 }  // namespace rvk::monitor

@@ -49,6 +49,16 @@ void Registry::clear() {
   index_.clear();
 }
 
+void Registry::merge_from(const Registry& other) {
+  for (const auto& e : other.entries_) {
+    if (e->is_histogram()) {
+      histogram(e->name).merge(*e->hist);
+    } else {
+      counter(e->name) += e->value;
+    }
+  }
+}
+
 std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());

@@ -75,6 +75,12 @@ class Registry {
     if (value > c) c = value;
   }
 
+  // Folds `other` into this registry: counters add, histograms merge,
+  // entries missing here are created.  The shard-merge seam (DESIGN.md §16):
+  // each shard's recorder accumulates into its own registry and the last
+  // recorder out absorbs its peers' before exporting.
+  void merge_from(const Registry& other);
+
   const Entry* find(std::string_view name) const;
 
   const std::vector<std::unique_ptr<Entry>>& entries() const {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <ostream>
+#include <vector>
 
 #include "common/check.hpp"
 #include "log/undo_log.hpp"
@@ -12,7 +14,14 @@
 namespace rvk::obs {
 
 namespace detail {
-Recorder* g_recorder = nullptr;
+// The per-shard install slot.  Deliberately confined to this TU and read
+// through the out-of-line current_recorder() below: inlining a TLS access
+// into long-running fiber frames lets GCC cache the TLS-derived address
+// across swapcontext, which UBSan flags (CLAUDE.md; same rationale as
+// rt::current_scheduler()).
+thread_local Recorder* g_recorder = nullptr;
+std::atomic<int> g_obs_active{0};
+Recorder* current_recorder() { return g_recorder; }
 void (*g_breach_hook)(rt::VThread*, const char*) = nullptr;
 }  // namespace detail
 
@@ -26,6 +35,13 @@ bool env_flag(const char* name) {
   const char* v = std::getenv(name);
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
+
+// Shard-merge bookkeeping (DESIGN.md §16).  Each shard's recorder lives in
+// the thread-local above; this mutex guards the process-wide count and the
+// parked list that carries finished shards' metrics to the last uninstall.
+std::mutex g_obs_mu;
+int g_obs_count = 0;
+std::vector<Recorder*> g_obs_parked;
 
 const char* env_str(const char* name) {
   const char* v = std::getenv(name);
@@ -76,19 +92,47 @@ Recorder::Recorder(RecorderConfig cfg)
 
 Recorder* Recorder::install(RecorderConfig cfg) {
   RVK_CHECK_MSG(detail::g_recorder == nullptr,
-                "an obs recorder is already installed (one per process)");
+                "an obs recorder is already installed on this thread "
+                "(one per shard)");
   if (const char* v = env_str("RVK_OBS_RING")) {
     const unsigned long long n = std::strtoull(v, nullptr, 10);
     if (n >= 2) cfg.ring_capacity = static_cast<std::size_t>(n);
   }
+  {
+    std::lock_guard<std::mutex> lk(g_obs_mu);
+    // First shard in installs the log seam; the hook reads the TLS
+    // recorder, so peers that install later observe it through this mutex
+    // (their install locks it) and shards without a recorder no-op.
+    if (g_obs_count++ == 0) log::set_log_obs_hook(&log_hook);
+  }
   detail::g_recorder = new Recorder(cfg);
-  log::set_log_obs_hook(&log_hook);
+  // Open the dispatchers' fast-path gate only after this shard's slot is
+  // populated; other shards that see the gate up but have no recorder of
+  // their own still no-op on the per-shard null check.
+  detail::g_obs_active.fetch_add(1, std::memory_order_relaxed);
   return detail::g_recorder;
 }
 
 void Recorder::uninstall() {
   Recorder* r = detail::g_recorder;
   if (r == nullptr) return;
+  detail::g_recorder = nullptr;
+  detail::g_obs_active.fetch_sub(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(g_obs_mu);
+    if (--g_obs_count > 0) {
+      // Sibling shards still recording: park this shard's metrics for the
+      // last uninstall to absorb.
+      g_obs_parked.push_back(r);
+      return;
+    }
+    for (Recorder* p : g_obs_parked) {
+      r->absorb(*p);
+      delete p;
+    }
+    g_obs_parked.clear();
+    log::set_log_obs_hook(nullptr);
+  }
   if (const char* path = env_str("RVK_OBS_METRICS")) {
     std::ofstream os(path);
     if (os) r->export_metrics(os, {{"exporter", "rvk-obs"}});
@@ -97,12 +141,28 @@ void Recorder::uninstall() {
     std::ofstream os(path);
     if (os) r->export_chrome_trace(os);
   }
-  log::set_log_obs_hook(nullptr);
-  detail::g_recorder = nullptr;
   delete r;
 }
 
 Recorder* Recorder::active() { return detail::g_recorder; }
+
+void Recorder::absorb(const Recorder& other) {
+  registry_.merge_from(other.registry_);
+  for (const auto& [name, p] : other.profiles_) {
+    MonitorProfile& mine = profile_of(name);
+    mine.acquires += p.acquires;
+    mine.contended += p.contended;
+    mine.releases += p.releases;
+    mine.reserving_releases += p.reserving_releases;
+    mine.barges += p.barges;
+    mine.wait_ticks += p.wait_ticks;
+    mine.aborts += p.aborts;
+  }
+  orphan_events_ += other.orphan_events_;
+  dropped_before_run_ += other.dropped_events();
+  threads_observed_ += other.threads_observed_;
+  foreign_shard_events_ += other.seq_ + other.foreign_shard_events_;
+}
 
 bool Recorder::env_enabled() {
   // Naming an output file implies asking for recording.
@@ -405,10 +465,13 @@ std::vector<Event> Recorder::snapshot() const {
 void Recorder::export_metrics(
     std::ostream& os,
     const std::vector<std::pair<std::string, std::string>>& context) {
-  registry_.set("obs.events_recorded", seq_);
+  registry_.set("obs.events_recorded", seq_ + foreign_shard_events_);
   registry_.set("obs.events_dropped", dropped_events());
   registry_.set("obs.orphan_events", orphan_events_);
   registry_.set("obs.threads_observed", threads_observed_);
+  // Events recorded on absorbed peer shards: present in the merged metrics
+  // above, absent from this (single-shard) trace.
+  registry_.set("obs.foreign_shard_events", foreign_shard_events_);
   for (const auto& [name, p] : profiles_) {
     const std::string prefix = "monitor." + name + ".";
     registry_.set(prefix + "acquires", p.acquires);

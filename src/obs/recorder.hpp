@@ -1,11 +1,18 @@
 // The observability recorder: install point, per-thread rings, derived
 // latency metrics (DESIGN.md §10).
 //
-// One Recorder may be installed per process at a time (mirroring the
-// one-Engine invariant).  Instrumentation sites across rt/, monitor/, core/
-// and log/ call the inline on_*() dispatchers below; when no recorder is
-// installed they cost a single predicted-not-taken null test — the same
-// zero-cost-off discipline as the revocation-safety analyzer.  The yield
+// One Recorder may be installed per *shard* (per OS thread) at a time,
+// mirroring the one-Engine-per-shard invariant (DESIGN.md §16): the install
+// point is thread-local, every ring/profile/registry it owns is touched
+// only from its own shard's OS thread, and the recorders merge at the end —
+// the last uninstall absorbs its parked peers' registries and profiles
+// before exporting, so RVK_OBS=1 produces one merged metrics document under
+// any shard count (peer event *traces* are not merged; they are counted as
+// obs.foreign_shard_events so the loss is visible).  Instrumentation sites
+// across rt/, monitor/, core/ and log/ call the inline on_*() dispatchers
+// below; when no recorder is installed anywhere they cost a single
+// predicted-not-taken test of a plain global — the same zero-cost-off
+// discipline as the revocation-safety analyzer.  The yield
 // point itself carries NO obs hook: per-thread activity is reconstructed
 // from dispatch/switch events, which is exactly as precise (code between
 // yield points is atomic) and keeps the hottest path untouched.
@@ -32,6 +39,7 @@
 //    replayed × 8 bytes/word (§3.1.2).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
@@ -71,15 +79,19 @@ struct MonitorProfile {
 
 class Recorder {
  public:
-  // Installs a fresh recorder; must not already be installed.
+  // Installs a fresh recorder on the calling OS thread; that thread must
+  // not already have one.  Under sharding each shard's engine installs its
+  // own in its constructor, on its own pinned thread.
   static Recorder* install(RecorderConfig cfg = {});
 
-  // Uninstalls.  If RVK_OBS_METRICS / RVK_OBS_TRACE name files, the final
-  // metrics / trace are exported there first (last recorder wins).  No-op
-  // when not installed.
+  // Uninstalls the calling thread's recorder.  While sibling recorders are
+  // still installed on other threads, the recorder is parked (its metrics
+  // wait for the merge); the LAST uninstall absorbs every parked peer and,
+  // if RVK_OBS_METRICS / RVK_OBS_TRACE name files, exports the merged
+  // metrics / its own trace there.  No-op when not installed.
   static void uninstall();
 
-  // The installed recorder, or nullptr.
+  // The calling thread's installed recorder, or nullptr.
   static Recorder* active();
 
   // True when RVK_OBS is set non-zero, or RVK_OBS_TRACE / RVK_OBS_METRICS
@@ -165,6 +177,12 @@ class Recorder {
  private:
   explicit Recorder(RecorderConfig cfg);
 
+  // Folds a parked peer shard's recorder into this one: registries merge
+  // (counters add, histograms merge), monitor profiles sum field-wise,
+  // drop/orphan/thread totals add.  The peer's event rings are NOT merged —
+  // their retained/recorded events land in obs.foreign_shard_events.
+  void absorb(const Recorder& other);
+
   struct ThreadSide {
     EventRing ring;
     rt::VThread* thread = nullptr;  // valid while its scheduler is alive
@@ -227,6 +245,9 @@ class Recorder {
   std::uint64_t orphan_events_ = 0;
   std::uint64_t dropped_before_run_ = 0;  // drops in rings begin_run() cleared
   std::uint64_t threads_observed_ = 0;    // registrations across all runs
+  // Events recorded by absorbed peer shards, whose traces the merge drops
+  // (metrics keep everything; only the event *ring* contents are lost).
+  std::uint64_t foreign_shard_events_ = 0;
 
   Registry registry_;
   // Pre-created histogram/counter references for the forbidden-safe paths.
@@ -244,85 +265,108 @@ class Recorder {
 };
 
 namespace detail {
-extern Recorder* g_recorder;
+// Process-wide count of installed recorders, across every shard.  A plain
+// global, deliberately NOT thread-local: its address is a link-time
+// constant, so the inline relaxed load in the dispatchers below stays
+// valid across fiber switches.  It is only a fast-path gate — the
+// authoritative per-shard slot is the thread_local behind
+// current_recorder().
+extern std::atomic<int> g_obs_active;
+// Out-of-line TLS read (CLAUDE.md): each shard's OS thread sees its own
+// recorder.  Like rt::current_scheduler(), this must never be inlined into
+// fiber frames — GCC caches the TLS-derived address across swapcontext,
+// which UBSan flags and which would go stale under any scheduler-to-OS-
+// thread remapping.  The underlying thread_local lives in recorder.cpp and
+// is never named from a header.
+Recorder* current_recorder();
 // Analyzer breach hook: fired when an allocation-capable obs handler runs
 // inside a forbidden region (only meaningful while region marking is on).
 extern void (*g_breach_hook)(rt::VThread*, const char*);
+
+// Disabled-path gate shared by every dispatcher: one predicted-not-taken
+// relaxed load when no recorder is installed anywhere, and only then the
+// out-of-line TLS read for this shard's slot (which may still be null on a
+// shard that never installed one).
+inline Recorder* active_or_null() {
+  if (g_obs_active.load(std::memory_order_relaxed) == 0) [[likely]] {
+    return nullptr;
+  }
+  return current_recorder();
+}
 }  // namespace detail
 
 // Installs the forbidden-obs-hook breach reporter (analysis/ owns this,
 // pairing it with Analyzer install/uninstall); nullptr to uninstall.
 void set_breach_hook(void (*hook)(rt::VThread*, const char*));
 
-inline bool recording() { return detail::g_recorder != nullptr; }
+inline bool recording() { return detail::active_or_null() != nullptr; }
 
 // ---- Instrumentation dispatchers (null-checked, [[unlikely]] taken) ----
 
 inline void on_spawn(rt::VThread* t) {
-  if (detail::g_recorder != nullptr) [[unlikely]] {
-    detail::g_recorder->record_spawn(t);
+  if (Recorder* r = detail::active_or_null()) [[unlikely]] {
+    r->record_spawn(t);
   }
 }
 
 inline void on_dispatch(rt::VThread* t) {
-  if (detail::g_recorder != nullptr) [[unlikely]] {
-    detail::g_recorder->record_dispatch(t);
+  if (Recorder* r = detail::active_or_null()) [[unlikely]] {
+    r->record_dispatch(t);
   }
 }
 
 inline void on_switch_out(rt::VThread* t, rt::SwitchReason reason) {
-  if (detail::g_recorder != nullptr) [[unlikely]] {
-    detail::g_recorder->record_switch_out(t, reason);
+  if (Recorder* r = detail::active_or_null()) [[unlikely]] {
+    r->record_switch_out(t, reason);
   }
 }
 
 inline void on_monitor_contend(rt::VThread* t, const void* m,
                                std::string_view name, int deposited_priority) {
-  if (detail::g_recorder != nullptr) [[unlikely]] {
-    detail::g_recorder->record_monitor_contend(t, m, name, deposited_priority);
+  if (Recorder* r = detail::active_or_null()) [[unlikely]] {
+    r->record_monitor_contend(t, m, name, deposited_priority);
   }
 }
 
 inline void on_monitor_acquired(rt::VThread* t, const void* m,
                                 std::string_view name, bool contended) {
-  if (detail::g_recorder != nullptr) [[unlikely]] {
-    detail::g_recorder->record_monitor_acquired(t, m, name, contended);
+  if (Recorder* r = detail::active_or_null()) [[unlikely]] {
+    r->record_monitor_acquired(t, m, name, contended);
   }
 }
 
 inline void on_monitor_barge(rt::VThread* t, const void* m,
                              std::string_view name) {
-  if (detail::g_recorder != nullptr) [[unlikely]] {
-    detail::g_recorder->record_monitor_barge(t, m, name);
+  if (Recorder* r = detail::active_or_null()) [[unlikely]] {
+    r->record_monitor_barge(t, m, name);
   }
 }
 
 inline void on_monitor_release(rt::VThread* t, const void* m,
                                std::string_view name, bool reserving) {
-  if (detail::g_recorder != nullptr) [[unlikely]] {
-    detail::g_recorder->record_monitor_release(t, m, name, reserving);
+  if (Recorder* r = detail::active_or_null()) [[unlikely]] {
+    r->record_monitor_release(t, m, name, reserving);
   }
 }
 
 inline void on_monitor_abandon(rt::VThread* t, const void* m,
                                std::string_view name, bool cancelled,
                                std::uint64_t waited_ticks) {
-  if (detail::g_recorder != nullptr) [[unlikely]] {
-    detail::g_recorder->record_monitor_abandon(t, m, name, cancelled,
-                                               waited_ticks);
+  if (Recorder* r = detail::active_or_null()) [[unlikely]] {
+    r->record_monitor_abandon(t, m, name, cancelled, waited_ticks);
   }
 }
 
 inline void on_engine(EventKind kind, rt::VThread* t, std::uint64_t frame,
                       const void* m, std::uint64_t aux = 0) {
-  if (detail::g_recorder != nullptr) [[unlikely]] {
-    detail::g_recorder->record_engine(kind, t, frame, m, aux);
+  if (Recorder* r = detail::active_or_null()) [[unlikely]] {
+    r->record_engine(kind, t, frame, m, aux);
   }
 }
 
 inline void on_run_begin() {
-  if (detail::g_recorder != nullptr) [[unlikely]] {
-    detail::g_recorder->begin_run();
+  if (Recorder* r = detail::active_or_null()) [[unlikely]] {
+    r->begin_run();
   }
 }
 

@@ -22,6 +22,23 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+// ThreadSanitizer likewise needs fiber switches announced, or it attributes
+// one OS thread's interleaved fiber stacks to a single logical thread and
+// reports wild races the moment shards run on real threads (rt/domain.hpp,
+// kOsThreads).  Same pairing discipline as the ASan annotations: every
+// switch into a fiber names that fiber, every switch back names the
+// scheduler's.  No-ops elsewhere.
+#if defined(__SANITIZE_THREAD__)
+#define RVK_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RVK_TSAN_FIBERS 1
+#endif
+#endif
+#ifdef RVK_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace rvk::rt {
 
 namespace detail {
@@ -116,10 +133,19 @@ Scheduler::Scheduler(SchedulerConfig cfg)
       ready_(cfg.strict_priority ? WaitQueue::Order::kPriority
                                  : WaitQueue::Order::kFifo) {
   RVK_CHECK(cfg_.quantum > 0);
+  // Id 0 is the thin-lock "unowned" encoding; never hand it out.
+  RVK_CHECK_MSG(cfg_.first_thread_id >= 1, "thread ids start at 1");
+  next_id_ = cfg_.first_thread_id;
 }
 
 Scheduler::~Scheduler() {
   RVK_CHECK_MSG(!running_, "Scheduler destroyed while running");
+#ifdef RVK_TSAN_FIBERS
+  // Fibers of threads that never finished (stalled-test wreckage).
+  for (const auto& t : threads_) {
+    if (t->tsan_fiber_ != nullptr) __tsan_destroy_fiber(t->tsan_fiber_);
+  }
+#endif
 }
 
 VThread* Scheduler::spawn(std::string name, int priority,
@@ -137,6 +163,10 @@ VThread* Scheduler::spawn(std::string name, int priority,
               static_cast<unsigned int>(ptr >> 32),
               static_cast<unsigned int>(ptr & 0xFFFFFFFFu));
   t->state_ = ThreadState::kRunnable;
+#ifdef RVK_TSAN_FIBERS
+  t->tsan_fiber_ = __tsan_create_fiber(0);
+  __tsan_set_fiber_name(t->tsan_fiber_, t->name().c_str());
+#endif
   threads_.push_back(std::move(thread));
   ready_.push(t);
   ++live_count_;
@@ -183,6 +213,9 @@ void Scheduler::dispatch(VThread* t) {
   __sanitizer_start_switch_fiber(&asan_fake_stack_, t->stack_->base(),
                                  t->stack_->size());
 #endif
+#ifdef RVK_TSAN_FIBERS
+  __tsan_switch_to_fiber(t->tsan_fiber_, 0);
+#endif
   RVK_CHECK_MSG(swapcontext(&sched_context_, &t->context_) == 0,
                 "swapcontext into thread failed");
 #ifdef RVK_ASAN_FIBERS
@@ -213,6 +246,12 @@ void Scheduler::dispatch(VThread* t) {
       // drivers (svc/) spawn one short-lived green thread per request.
       t->stack_.reset();
       t->body_ = nullptr;
+#ifdef RVK_TSAN_FIBERS
+      // Back on the scheduler fiber (switch_out announced that), so the
+      // dead fiber is no longer current and may be destroyed.
+      __tsan_destroy_fiber(t->tsan_fiber_);
+      t->tsan_fiber_ = nullptr;
+#endif
       ++stacks_reclaimed_;
       break;
   }
@@ -227,6 +266,9 @@ void Scheduler::switch_out(SwitchReason reason) {
   __sanitizer_start_switch_fiber(
       reason == SwitchReason::kFinish ? nullptr : &t->asan_fake_stack_,
       sched_stack_bottom_, sched_stack_size_);
+#endif
+#ifdef RVK_TSAN_FIBERS
+  __tsan_switch_to_fiber(tsan_sched_fiber_, 0);
 #endif
   RVK_CHECK_MSG(swapcontext(&t->context_, &sched_context_) == 0,
                 "swapcontext to scheduler failed");
@@ -408,8 +450,15 @@ void Scheduler::run() {
   detail::g_section_vthread = nullptr;
   running_ = true;
   stalled_ = false;
+#ifdef RVK_TSAN_FIBERS
+  tsan_sched_fiber_ = __tsan_get_current_fiber();
+#endif
 
   while (live_count_ > 0) {
+    // Shard mailbox drain (rt/domain.hpp); empty in the unsharded runtime.
+    // Scheduler context: it may wake blocked threads and spawn helpers, and
+    // it never advances the virtual clock.
+    if (domain_poll_) [[unlikely]] domain_poll_();
     fire_due_timers();
     VThread* next = pick_next();
     if (next == nullptr) {

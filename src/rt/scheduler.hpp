@@ -67,6 +67,11 @@ struct SchedulerConfig {
   // Rethrow the first exception that escaped a thread body once run()
   // finishes (surfaces test failures from inside green threads).
   bool rethrow_uncaught = true;
+
+  // First thread id this scheduler hands out.  Lock words embed thread ids,
+  // so under sharding (rt/domain.hpp) every shard gets a disjoint id range;
+  // the default keeps the classic 1,2,3,... numbering.
+  ThreadId first_thread_id = 1;
 };
 
 // Materialises the current thread's lazily-deferred synchronized frame via
@@ -205,6 +210,15 @@ class Scheduler {
     cfg_.background_period = dispatches;
   }
 
+  // ---- Domain hook (rt/domain.hpp) ----
+
+  // Installed by rt::Domain: runs once per run()-loop iteration, in
+  // scheduler context, before the next dispatch — the shard's mailbox drain
+  // point.  Must not assume any particular thread is current.
+  void set_domain_poll(std::function<void()> f) {
+    domain_poll_ = std::move(f);
+  }
+
   // ---- Exploration hooks (explore/) ----
 
   // When installed, pick_next() defers the dispatch choice to the hook: it
@@ -304,6 +318,9 @@ class Scheduler {
   void* asan_fake_stack_ = nullptr;
   const void* sched_stack_bottom_ = nullptr;
   std::size_t sched_stack_size_ = 0;
+  // TSan fiber bookkeeping (populated only under ThreadSanitizer): the OS
+  // thread's own fiber, switched back to around every dispatch.
+  void* tsan_sched_fiber_ = nullptr;
   std::uint64_t ticks_ = 0;
   std::uint64_t dispatches_ = 0;
   std::uint64_t stacks_reclaimed_ = 0;
@@ -315,6 +332,7 @@ class Scheduler {
   std::function<void(VThread*)> deliverer_;
   std::function<bool()> stall_hook_;
   std::function<void()> background_hook_;
+  std::function<void()> domain_poll_;
   PickHook pick_hook_;
   std::function<void(VThread*)> step_hook_;
   std::vector<VThread*> pick_candidates_;  // scratch, reused across dispatches

@@ -213,6 +213,7 @@ class VThread {
   std::uint64_t timer_gen_ = 0;
   QueueNode queue_node_;             // intrusive linkage (ready/wait queues)
   void* asan_fake_stack_ = nullptr;  // ASan fiber bookkeeping (see scheduler.cpp)
+  void* tsan_fiber_ = nullptr;       // TSan fiber handle (see scheduler.cpp)
   WaitQueue* blocked_on_ = nullptr;  // queue currently parked in, if any
   WaitQueue joiners_;                // threads join()ing on this one
   std::exception_ptr uncaught_;

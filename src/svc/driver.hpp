@@ -33,7 +33,11 @@ struct OpenLoopConfig {
   std::vector<TierSpec> tiers = default_tiers();
   ServiceConfig service;
   std::uint64_t duration = 40'000;  // injection window, virtual ticks
-  int max_in_flight = 4096;         // admission cap (excess arrivals shed)
+  // Admission cap (excess arrivals shed and counted).  16384 admits the
+  // full macro_open surge point (~6k peak in flight, past the old 4096
+  // cap) without shedding; memory stays O(max_in_flight) regardless
+  // (DESIGN.md §15).
+  int max_in_flight = 16384;
   std::uint64_t seed = 1;
   int quantum = 50;
   std::size_t stack_size = 32 * 1024;  // requests are shallow; keep RSS low

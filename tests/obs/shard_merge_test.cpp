@@ -1,0 +1,123 @@
+// Per-shard observability merge (DESIGN.md §16): each shard's recorder
+// accumulates into its own registry; uninstall parks a shard's recorder
+// while siblings still record, and the LAST uninstall absorbs every parked
+// peer — counters add, histograms merge, absorbed trace events are counted
+// (not silently lost) in obs.foreign_shard_events — before the env-var
+// export runs once for the whole process.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "rt/scheduler.hpp"
+#include "json_lite.hpp"
+
+namespace rvk::obs {
+namespace {
+
+TEST(RegistryMergeTest, CountersAddHistogramsMergeMissingCreated) {
+  Registry a;
+  Registry b;
+  a.counter("both.counter") = 10;
+  b.counter("both.counter") = 32;
+  b.counter("b.only") = 7;
+  a.histogram("both.hist").record(1);
+  b.histogram("both.hist").record(100);
+  b.histogram("b.hist").record(5);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.find("both.counter")->value, 42u);
+  EXPECT_EQ(a.find("b.only")->value, 7u);  // created by the merge
+  EXPECT_EQ(a.find("both.hist")->hist->count(), 2u);
+  EXPECT_EQ(a.find("both.hist")->hist->max(), 100u);
+  EXPECT_EQ(a.find("b.hist")->hist->count(), 1u);
+  // b is untouched.
+  EXPECT_EQ(b.find("both.counter")->value, 32u);
+}
+
+struct ScopedEnv {
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (had_) old_ = old;
+    if (value != nullptr) {
+      setenv(name, value, 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      setenv(name_, old_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+  const char* name_;
+  bool had_;
+  std::string old_;
+};
+
+TEST(ShardMergeTest, LastUninstallAbsorbsParkedPeersAndExportsOnce) {
+  const char* path = "/tmp/rvk_shard_merge_metrics.json";
+  std::remove(path);
+  ScopedEnv metrics_env("RVK_OBS_METRICS", path);
+  ScopedEnv trace_env("RVK_OBS_TRACE", nullptr);
+
+  // Shard A: this thread.  Installed first, uninstalled last.
+  Recorder* a = Recorder::install();
+  ASSERT_NE(a, nullptr);
+  a->registry().set("shard.a_only", 2);
+  a->registry().set("shard.shared", 1);
+
+  // Shard B: a second OS thread with its own recorder, which records real
+  // scheduler events (so the absorbed-trace accounting has something to
+  // count) and parks at uninstall because A is still installed.
+  std::thread shard_b([] {
+    Recorder* b = Recorder::install();
+    ASSERT_NE(b, nullptr);
+    rt::Scheduler sched;
+    sched.spawn("bwork", 5, [&sched] {
+      for (int i = 0; i < 4; ++i) sched.yield_point();
+    });
+    sched.run();
+    b->registry().set("shard.b_only", 3);
+    b->registry().set("shard.shared", 4);
+    Recorder::uninstall();  // parks: A still recording
+  });
+  shard_b.join();
+
+  // B is parked, not exported: no file yet, and A still sees only its own
+  // registry.
+  {
+    std::ifstream probe(path);
+    EXPECT_FALSE(probe.good());
+  }
+  EXPECT_EQ(a->registry().find("shard.b_only"), nullptr);
+
+  Recorder::uninstall();  // last one out: absorb B, export, tear down
+  EXPECT_EQ(Recorder::active(), nullptr);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "last uninstall did not export metrics";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_TRUE(testjson::valid_json(json)) << json.substr(0, 400);
+  // Both shards' registries are present in the one merged export…
+  EXPECT_NE(json.find("\"shard.a_only\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard.b_only\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard.shared\""), std::string::npos);
+  // …and B's trace events were counted as foreign, not dropped silently.
+  EXPECT_NE(json.find("\"obs.foreign_shard_events\""), std::string::npos);
+  std::remove(path);
+}
+
+}  // namespace
+}  // namespace rvk::obs

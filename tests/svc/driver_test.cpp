@@ -61,7 +61,9 @@ TEST(OpenLoopDriverTest, AllProtocolsCompleteWorkAndConserveLedger) {
     }
     EXPECT_GT(completed, r.arrivals * 3 / 4);
     EXPECT_EQ(r.ledger_final, r.ledger_initial);
-    if (proto != Protocol::kRevocation) EXPECT_EQ(r.rollbacks, 0u);
+    if (proto != Protocol::kRevocation) {
+      EXPECT_EQ(r.rollbacks, 0u);
+    }
   }
 }
 

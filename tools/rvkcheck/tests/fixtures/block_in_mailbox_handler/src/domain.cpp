@@ -1,0 +1,26 @@
+// Mailbox handler doing handler-legal work (inbound accounting, an inline
+// NO_YIELD wakeup) — plus a blocking park on a wait queue, which the
+// forbidden-region rule must flag: the handler runs in scheduler context
+// inside the shard's dispatch loop and may never yield, block or allocate.
+#include "sched.hpp"
+
+namespace rt {
+
+struct Msg {
+  int kind_;
+};
+
+struct Domain {
+  Sched* sched_;
+  WaitQueue waiters_;
+  int inbound_;
+  void handle_message(const Msg& m);
+};
+
+void Domain::handle_message(const Msg& m) {
+  --inbound_;
+  sched_->wake_specific(waiters_, m.kind_);  // legal: NO_YIELD wakeup
+  sched_->block_current_on(waiters_);  // SEEDED VIOLATION: blocks in handler
+}
+
+}  // namespace rt

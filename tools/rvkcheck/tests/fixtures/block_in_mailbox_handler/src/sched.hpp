@@ -1,0 +1,21 @@
+// Miniature shard surface: just enough shape for the forbidden-region rule
+// on a mailbox-handler root (mirrors rt/domain.hpp's handle_message
+// contract — the handler runs in the owner shard's dispatch loop, inside
+// its commit/abort/release windows).
+#pragma once
+
+namespace rt {
+
+struct WaitQueue {
+  int n_;
+};
+
+struct Sched {
+  // Declared effect roots, exactly like the real tree's scheduler.
+  RVK_MAY_YIELD RVK_MAY_BLOCK RVK_MAY_ALLOC void block_current_on(
+      WaitQueue& q);
+  RVK_NO_YIELD bool wake_specific(WaitQueue& q, int t);
+  int ticks_;
+};
+
+}  // namespace rt
